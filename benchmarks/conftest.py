@@ -1,0 +1,24 @@
+"""Benchmark harness helpers: paper-vs-measured table printing."""
+
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Print an aligned comparison table to stdout."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print("=" * len(line))
+    print(title)
+    print("=" * len(line))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    print()
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

@@ -1,0 +1,209 @@
+"""Table 3: performance of Decaf Drivers on common workloads.
+
+Paper:
+
+    Driver   Workload       Rel.  CPU nat  CPU dec  Init nat  Init dec  Cross
+    8139too  netperf-send   1.00  14%      13%      0.02 s    1.02 s    40
+             netperf-recv   1.00  17%      15%      --        --        --
+    E1000    netperf-send   0.99  2.8%     3.7%     0.42 s    4.87 s    91
+             netperf-recv   1.00  20%      21%      --        --        --
+    ens1371  mpg123         --    0.0%     0.1%     1.12 s    6.34 s    237
+    uhci-hcd tar            1.03  0.1%     0.1%     1.32 s    2.67 s    49
+    psmouse  move-and-click --    0.1%     0.1%     0.04 s    0.40 s    24
+
+Plus, in text: E1000 UDP 1-byte send/recv throughput equal to native
+with slightly higher CPU; ens1371's decaf driver called 15 times during
+playback; the E1000 watchdog runs in the decaf driver every 2 s.
+
+The bench runs every workload on both stacks in virtual time and
+prints the same rows.  Asserted shape: steady-state relative
+performance within a few percent of 1.0, CPU utilization close between
+stacks, decaf init latency a multiple of native, and decaf-invocation
+counts ~0 during data-path workloads.
+"""
+
+import pytest
+
+from repro.workloads import (
+    make_8139too_rig,
+    make_e1000_rig,
+    make_ens1371_rig,
+    make_psmouse_rig,
+    make_uhci_rig,
+    move_and_click,
+    mpg123_play,
+    netperf_recv,
+    netperf_send,
+    netperf_udp_rr,
+    tar_to_flash,
+)
+
+PAPER = [
+    ("8139too", "netperf-send", "1.00", "14%", "13%", "0.02", "1.02", "40"),
+    ("8139too", "netperf-recv", "1.00", "17%", "15%", "-", "-", "-"),
+    ("e1000", "netperf-send", "0.99", "2.8%", "3.7%", "0.42", "4.87", "91"),
+    ("e1000", "netperf-recv", "1.00", "20%", "21%", "-", "-", "-"),
+    ("ens1371", "mpg123", "-", "0.0%", "0.1%", "1.12", "6.34", "237"),
+    ("uhci_hcd", "tar", "1.03", "0.1%", "0.1%", "1.32", "2.67", "49"),
+    ("psmouse", "move-and-click", "-", "0.1%", "0.1%", "0.04", "0.40", "24"),
+]
+
+
+def _run_pair(make_rig, workload, metric="throughput_mbps", **kwargs):
+    """Run one workload on native and decaf rigs; returns result pair."""
+    results = {}
+    for decaf in (False, True):
+        rig = make_rig(decaf=decaf)
+        rig.insmod()
+        results[decaf] = workload(rig, **kwargs)
+        results[decaf].extra["rig"] = rig
+    return results
+
+
+def run_table3():
+    measurements = []
+
+    pair = _run_pair(make_8139too_rig, netperf_send, duration_s=1.0)
+    measurements.append(("8139too", "netperf-send", pair, "throughput"))
+    pair = _run_pair(make_8139too_rig, netperf_recv, duration_s=1.0)
+    measurements.append(("8139too", "netperf-recv", pair, "throughput"))
+
+    pair = _run_pair(make_e1000_rig, netperf_send, duration_s=1.0)
+    measurements.append(("e1000", "netperf-send", pair, "throughput"))
+    pair = _run_pair(make_e1000_rig, netperf_recv, duration_s=1.0)
+    measurements.append(("e1000", "netperf-recv", pair, "throughput"))
+
+    pair = _run_pair(make_ens1371_rig, mpg123_play, duration_s=5.0)
+    measurements.append(("ens1371", "mpg123", pair, None))
+
+    pair = _run_pair(make_uhci_rig, tar_to_flash,
+                     archive_bytes=512 * 1024)
+    measurements.append(("uhci_hcd", "tar", pair, "duration"))
+
+    pair = _run_pair(make_psmouse_rig, move_and_click, duration_s=15.0)
+    measurements.append(("psmouse", "move-and-click", pair, None))
+    return measurements
+
+
+def _relative(pair, kind):
+    native, decaf = pair[False], pair[True]
+    if kind == "throughput":
+        return decaf.throughput_mbps / max(1e-9, native.throughput_mbps)
+    if kind == "duration":
+        # Longer duration = slower; relative performance as paper
+        # reports it (>1 means decaf took longer).
+        return decaf.duration_s / max(1e-9, native.duration_s)
+    return None
+
+
+def test_table3_performance(benchmark, table_printer):
+    measurements = benchmark.pedantic(run_table3, iterations=1, rounds=1)
+
+    rows = []
+    paper_by_key = {(p[0], p[1]): p for p in PAPER}
+    for driver, workload, pair, kind in measurements:
+        native, decaf = pair[False], pair[True]
+        rel = _relative(pair, kind)
+        paper = paper_by_key[(driver, workload)]
+        rows.append((
+            driver, workload,
+            paper[2], ("%.2f" % rel) if rel else "-",
+            paper[3], "%.1f%%" % (100 * native.cpu_utilization),
+            paper[4], "%.1f%%" % (100 * decaf.cpu_utilization),
+            paper[5], "%.2f" % native.init_latency_s,
+            paper[6], "%.2f" % decaf.init_latency_s,
+            paper[7], "%d" % decaf.kernel_user_crossings,
+        ))
+    table_printer(
+        "Table 3: workload performance (paper vs reproduction; "
+        "p=paper, r=reproduction)",
+        ["Driver", "Workload", "Rel(p)", "Rel(r)", "CPUn(p)", "CPUn(r)",
+         "CPUd(p)", "CPUd(r)", "Init-n(p)", "Init-n(r)", "Init-d(p)",
+         "Init-d(r)", "Cross(p)", "Cross(r)"],
+        rows,
+    )
+
+    for driver, workload, pair, kind in measurements:
+        native, decaf = pair[False], pair[True]
+        rel = _relative(pair, kind)
+        if rel is not None:
+            # Steady-state within a few percent of native.
+            assert 0.97 <= rel <= 1.05, (driver, workload, rel)
+        # CPU utilization comparable (within 2 percentage points or 2x).
+        assert abs(decaf.cpu_utilization - native.cpu_utilization) < 0.05, \
+            (driver, workload)
+        # Decaf init latency is a multiple of native's.
+        assert decaf.init_latency_s > 2 * native.init_latency_s, driver
+
+    # Ordering of decaf init latency: the two chatty-init drivers
+    # (e1000, ens1371) are the slowest, as in the paper.
+    init = {driver: pair[True].init_latency_s
+            for driver, _w, pair, _k in measurements}
+    slowest_two = sorted(init, key=init.get, reverse=True)[:2]
+    assert set(slowest_two) <= {"e1000", "ens1371", "psmouse"}
+
+    benchmark.extra_info["rows"] = len(rows)
+
+
+def test_table3_e1000_udp(benchmark, table_printer):
+    """Section 4.2's UDP 1-byte experiment: same transaction rate,
+    slightly higher CPU for the decaf driver."""
+
+    def run():
+        results = {}
+        for decaf in (False, True):
+            rig = make_e1000_rig(decaf=decaf)
+            rig.insmod()
+            results[decaf] = netperf_udp_rr(rig, duration_s=0.5)
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    native, decaf = results[False], results[True]
+    table_printer(
+        "E1000 UDP 1-byte request/response (section 4.2)",
+        ["Variant", "Transactions", "CPU"],
+        [
+            ("native", native.extra["transactions"],
+             "%.2f%%" % (100 * native.cpu_utilization)),
+            ("decaf", decaf.extra["transactions"],
+             "%.2f%%" % (100 * decaf.cpu_utilization)),
+        ],
+    )
+    ratio = decaf.extra["transactions"] / native.extra["transactions"]
+    assert ratio > 0.98  # same throughput
+    assert decaf.cpu_utilization >= native.cpu_utilization * 0.95
+
+
+def test_table3_decaf_invocations(benchmark, table_printer):
+    """Section 4.2's invocation counts: ens1371's decaf driver runs
+    only at playback start/end; the E1000 watchdog every 2 s; the other
+    workloads never invoke the decaf driver."""
+
+    def run():
+        out = {}
+        rig = make_ens1371_rig(decaf=True)
+        rig.insmod()
+        out["ens1371"] = mpg123_play(rig, duration_s=4.0).decaf_invocations
+        rig = make_e1000_rig(decaf=True)
+        rig.insmod()
+        out["e1000"] = netperf_send(rig, duration_s=4.0).decaf_invocations
+        rig = make_uhci_rig(decaf=True)
+        rig.insmod()
+        out["uhci"] = tar_to_flash(
+            rig, archive_bytes=256 * 1024).decaf_invocations
+        rig = make_psmouse_rig(decaf=True)
+        rig.insmod()
+        out["psmouse"] = move_and_click(rig, duration_s=4.0).decaf_invocations
+        return out
+
+    counts = benchmark.pedantic(run, iterations=1, rounds=1)
+    table_printer(
+        "Decaf-driver invocations during workloads (paper: ens1371=15, "
+        "e1000=watchdog/2s, others=0)",
+        ["Driver", "Invocations"],
+        sorted(counts.items()),
+    )
+    assert 4 <= counts["ens1371"] <= 20      # start/end only (paper: 15)
+    assert 1 <= counts["e1000"] <= 6         # watchdog every 2 s over ~4 s
+    assert counts["uhci"] == 0
+    assert counts["psmouse"] == 0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Driver evolution: replaying E1000's 2.6.18.1 -> 2.6.27 history.
+
+Applies the 320-patch series in the paper's two batches, prints the
+Table 4 breakdown, and then walks one interface patch through the full
+section 3.2.4 regeneration workflow: extend the shared struct, add the
+DECAF_XVAR access, regenerate the marshaling plan, and show the new
+field crossing the kernel/user boundary (and not crossing before).
+
+Run:  python examples/driver_evolution.py
+"""
+
+from repro.core.marshal import FieldAccess, MarshalCodec, MarshalPlan, TO_USER
+from repro.drivers.legacy.e1000_main import e1000_adapter
+from repro.evolution import (
+    apply_patch_series,
+    build_e1000_patch_series,
+    extend_struct,
+)
+from repro.slicer.accessanalysis import build_marshal_plan
+
+
+def main():
+    patches = build_e1000_patch_series()
+    print("synthetic patch series: %d patches, e.g." % len(patches))
+    for patch in patches[:5]:
+        print("   #%03d [%s] %s (%d lines)"
+              % (patch.number, patch.target, patch.title,
+                 patch.lines_changed))
+
+    for batches, label in (((1,), "batch 1 (pre-2.6.22)"),
+                           ((2,), "batch 2 (post-2.6.22)"),
+                           ((1, 2), "full series")):
+        report, _plan = apply_patch_series(patches, batches=batches)
+        rows = report.table4_rows()
+        print("\n%s: %d patches" % (label, report.patches_applied))
+        print("   driver nucleus:        %5d lines (paper: 381)"
+              % rows["Driver nucleus"])
+        print("   decaf driver:          %5d lines (paper: 4690)"
+              % rows["Decaf driver"])
+        print("   user/kernel interface: %5d lines (paper: 23)"
+              % rows["User/kernel interface"])
+
+    print("\n=== one interface patch, in full ===")
+    print("patch: add e1000_adapter.rx_csum (RW), as 2.6.19 did")
+    new_cls = extend_struct(e1000_adapter, "rx_csum", "U32")
+    adapter = new_cls(rx_csum=1, msg_enable=7)
+
+    stale_plan = MarshalPlan()
+    stale_plan.set_access(new_cls.__name__,
+                          FieldAccess(reads={"msg_enable"}))
+    codec = MarshalCodec(stale_plan)
+    twin = codec.decode(codec.encode(adapter, new_cls, TO_USER),
+                        new_cls, TO_USER)
+    print("before regeneration: twin.rx_csum = %d (field not marshaled)"
+          % twin.rx_csum)
+
+    regen_plan = build_marshal_plan(
+        {new_cls.__name__: FieldAccess(reads={"msg_enable"})},
+        extra_access=[(new_cls.__name__, "rx_csum", "RW")],
+    )
+    codec = MarshalCodec(regen_plan)
+    twin = codec.decode(codec.encode(adapter, new_cls, TO_USER),
+                        new_cls, TO_USER)
+    print("after DECAF_RWVAR(rx_csum) + regen: twin.rx_csum = %d"
+          % twin.rx_csum)
+    print("\nThe decaf driver and nucleus compile separately; only the "
+          "marshaling code was regenerated (section 3.2.4).")
+
+
+if __name__ == "__main__":
+    main()

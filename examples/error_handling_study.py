@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The section 5.1 case study, live: broken error handling in C,
+checked exceptions in the decaf driver.
+
+Part 1 runs the static analysis that finds ignored error returns in
+the legacy E1000 (the paper found 28).
+
+Part 2 demonstrates one of them end to end: a PHY that stops answering
+during initialization.  The legacy driver loads *successfully* --
+``e1000_reset`` drops ``e1000_init_hw``'s error on the floor, exactly
+as 2.6.18 did -- while the decaf driver's PhyException propagates and
+the probe fails loudly.
+
+Run:  python examples/error_handling_study.py
+"""
+
+from repro.analysis import analyze_error_handling, count_exception_usage
+from repro.drivers.decaf import e1000_decaf, e1000_hw_decaf, e1000_param_decaf
+from repro.drivers.legacy import (
+    e1000_ethtool,
+    e1000_hw,
+    e1000_main,
+    e1000_param,
+)
+from repro.workloads import make_e1000_rig
+
+
+def static_analysis():
+    print("=== Part 1: static analysis of the legacy E1000 ===")
+    report = analyze_error_handling(
+        [e1000_main, e1000_hw, e1000_param, e1000_ethtool])
+    print("ignored/mishandled error returns: %d (paper found 28 in the "
+          "8x-larger real driver)" % report.ignored_count)
+    for case in report.ignored:
+        print("   %s:%d  %s() drops %s()'s return"
+              % (case.module, case.lineno, case.function, case.callee))
+    frac = report.propagation_fraction("e1000_hw")
+    print("error-propagation plumbing in the chip layer: %d lines (%.0f%%)"
+          % (report.propagation_by_module["e1000_hw"], 100 * frac))
+    n, classes = count_exception_usage(
+        [e1000_decaf, e1000_hw_decaf, e1000_param_decaf])
+    print("decaf functions rewritten with exceptions: %d, using %s"
+          % (n, ", ".join(sorted(classes))))
+
+
+def live_demo():
+    print("\n=== Part 2: a dead PHY at probe time ===")
+
+    def break_phy(rig):
+        def dead_mdic(value, rig=rig):
+            rig.device.regs[0x20] = 0  # MDIC never READY
+
+        rig.device._write_mdic = dead_mdic
+
+    legacy = make_e1000_rig(decaf=False)
+    break_phy(legacy)
+    ret = legacy.kernel.modules.insmod(legacy.module)
+    print("legacy driver: insmod -> %d  "
+          "(SUCCEEDS despite the dead PHY: the error is printk'd and "
+          "dropped)" % ret)
+    for _t, message in legacy.kernel.log_lines:
+        if "Error" in message:
+            print("   printk: %s" % message)
+
+    decaf = make_e1000_rig(decaf=True)
+    break_phy(decaf)
+    ret = decaf.kernel.modules.insmod(decaf.module)
+    print("decaf driver:  insmod -> %d  "
+          "(FAILS: PhyException propagated across XPC as -EIO)" % ret)
+    print("\nChecked exceptions make the failure impossible to ignore -- "
+          "the compiler-enforced version of the paper's argument.")
+
+
+if __name__ == "__main__":
+    static_analysis()
+    live_demo()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that editable installs work on
+environments without the `wheel` package (pip falls back to
+`setup.py develop`).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""Combolocks: the cross-domain synchronization primitive (section 3.1.3).
+
+A combolock protects data shared between the driver nucleus and the
+user-level driver.  Its mode depends on who holds it:
+
+* acquired and released only by kernel code, it behaves as a spinlock
+  (cheap, non-sleeping, makes the context atomic);
+* acquired from user mode, it becomes a semaphore, and kernel threads
+  that contend must *sleep* on it instead of spinning.
+
+The simulation is single-threaded, so contention cannot actually block;
+what the class enforces and records is the mode logic, the context rules
+(semaphore-mode acquisition may sleep and is thus forbidden in atomic
+context), and acquisition statistics for the locking ablation.
+"""
+
+from ..kernel.errors import DeadlockError
+from .domains import KERNEL
+
+
+class ComboLock:
+    def __init__(self, kernel, domains, name="combolock"):
+        self._kernel = kernel
+        self._domains = domains
+        self.name = name
+        self._held_by = None  # None | "kernel-spin" | "user-sem" | "kernel-sem"
+        self.spin_acquisitions = 0
+        self.sem_acquisitions = 0
+        self.kernel_waits_on_user = 0
+
+    @property
+    def held(self):
+        return self._held_by is not None
+
+    @property
+    def mode(self):
+        return self._held_by
+
+    def acquire(self):
+        if self._domains.current == KERNEL:
+            self._acquire_kernel()
+        else:
+            self._acquire_user()
+
+    def _acquire_kernel(self):
+        if self._held_by == "user-sem":
+            # A kernel thread finding the lock user-held must wait on the
+            # semaphore -- a sleeping operation.
+            self._kernel.context.might_sleep(
+                "combolock %s held by user mode" % self.name
+            )
+            self.kernel_waits_on_user += 1
+            raise DeadlockError(
+                "combolock %s: kernel acquisition while user holds it "
+                "would block forever in a single-threaded simulation" % self.name
+            )
+        if self._held_by is not None:
+            raise DeadlockError("combolock %s: recursive acquisition" % self.name)
+        # Kernel-only acquisition: spinlock semantics.
+        self._held_by = "kernel-spin"
+        self.spin_acquisitions += 1
+        self._kernel.context.preempt_disable()
+
+    def _acquire_user(self):
+        # User-mode acquisition: semaphore semantics; may sleep.
+        self._kernel.context.might_sleep("combolock %s (semaphore mode)" % self.name)
+        if self._held_by is not None:
+            raise DeadlockError("combolock %s: recursive acquisition" % self.name)
+        self._held_by = "user-sem"
+        self.sem_acquisitions += 1
+        self._kernel.cpu.charge(self._kernel.costs.context_switch_ns, "locking")
+
+    def release(self):
+        if self._held_by is None:
+            raise DeadlockError("combolock %s: release while not held" % self.name)
+        if self._held_by == "kernel-spin":
+            self._kernel.context.preempt_enable()
+        self._held_by = None
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False

@@ -1,0 +1,70 @@
+"""Execution domains.
+
+A decaf driver executes across three protection/language domains:
+
+* ``KERNEL`` -- the driver nucleus, C, kernel address space;
+* ``DRIVER_LIB`` -- user-level C: XPC endpoints, helper routines, and the
+  staging ground for functions not yet converted to Java;
+* ``DECAF`` -- the managed-language driver itself.
+
+The :class:`DomainManager` tracks which domain is executing (a stack,
+since XPC nests: kernel -> decaf -> downcall -> kernel) and counts
+transitions.  It is the authority the XPC layer and combolocks consult.
+"""
+
+KERNEL = "kernel"
+DRIVER_LIB = "driver-lib"
+DECAF = "decaf"
+
+_ALL = (KERNEL, DRIVER_LIB, DECAF)
+
+USER_DOMAINS = (DRIVER_LIB, DECAF)
+
+
+class DomainManager:
+    def __init__(self, initial=KERNEL):
+        self._stack = [initial]
+        self.transitions = 0
+
+    @property
+    def current(self):
+        return self._stack[-1]
+
+    @property
+    def depth(self):
+        return len(self._stack)
+
+    def in_kernel(self):
+        return self.current == KERNEL
+
+    def in_user(self):
+        return self.current in USER_DOMAINS
+
+    def push(self, domain):
+        assert domain in _ALL, domain
+        self._stack.append(domain)
+        self.transitions += 1
+
+    def pop(self, expected=None):
+        domain = self._stack.pop()
+        if expected is not None:
+            assert domain == expected, (domain, expected)
+        assert self._stack, "popped the base domain"
+        return domain
+
+    class _Entered:
+        def __init__(self, mgr, domain):
+            self._mgr = mgr
+            self._domain = domain
+
+        def __enter__(self):
+            self._mgr.push(self._domain)
+            return self._mgr
+
+        def __exit__(self, *exc):
+            self._mgr.pop(self._domain)
+            return False
+
+    def entered(self, domain):
+        """Context manager: execute a block in ``domain``."""
+        return DomainManager._Entered(self, domain)

@@ -1,0 +1,447 @@
+"""XDR-style marshaling between domains.
+
+DriverSlicer emits, and this module executes, the paper's marshaling
+scheme (sections 2.3, 3.2.2-3.2.3):
+
+* **Selective-field copy**: only the fields the target domain actually
+  accesses are transferred.  A :class:`MarshalPlan` carries per-struct
+  :class:`FieldAccess` sets (reads / writes, i.e. the ``DECAF_RVAR`` /
+  ``DECAF_WVAR`` / ``DECAF_RWVAR`` annotations); kernel->user transfers
+  copy ``reads | writes``, user->kernel transfers copy only ``writes``.
+* **Recursive data structures**: every object is recorded while being
+  marshaled; encountering it again emits a back-reference, so circular
+  lists and diamond shapes marshal once (section 3.2.3).  This extends
+  across all parameters of one call via a shared encode context.
+* **Object identity**: unmarshaling consults the destination object
+  tracker before allocating, updating existing objects in place.
+* **Opaque pointers**: kernel-private pointers cross as integer handles
+  and are restored to the original kernel object when passed back.
+
+Data genuinely flows through a byte buffer (4-byte-aligned XDR wire
+format), so the byte counts the XPC layer charges are real.
+"""
+
+import struct as _struct
+
+from .cstruct import Array, CONSTANTS, Exp, Null, Opaque, Ptr, Str, Struct
+
+TAG_NULL = 0
+TAG_OBJ = 1
+TAG_BACKREF = 2
+TAG_OPAQUE = 3
+TAG_ARRAY = 4
+
+TO_USER = "to_user"
+TO_KERNEL = "to_kernel"
+
+
+class MarshalError(Exception):
+    pass
+
+
+class FieldAccess:
+    """Which fields of one struct a user-level domain reads/writes."""
+
+    def __init__(self, reads=(), writes=()):
+        self.reads = set(reads)
+        self.writes = set(writes)
+
+    @property
+    def all(self):
+        return self.reads | self.writes
+
+    def add_read(self, name):
+        self.reads.add(name)
+
+    def add_write(self, name):
+        self.writes.add(name)
+
+    def merged(self, other):
+        return FieldAccess(self.reads | other.reads, self.writes | other.writes)
+
+    def __repr__(self):
+        return "FieldAccess(reads=%r, writes=%r)" % (
+            sorted(self.reads), sorted(self.writes)
+        )
+
+
+class MarshalPlan:
+    """Per-struct field-access sets.  Without an entry, all fields cross
+    (the whole-struct baseline the selective-marshaling ablation
+    compares against)."""
+
+    def __init__(self, accesses=None):
+        self._accesses = dict(accesses or {})
+
+    def set_access(self, struct_name, access):
+        self._accesses[struct_name] = access
+
+    def access_for(self, struct_cls):
+        return self._accesses.get(struct_cls.__name__)
+
+    def fields_for(self, struct_cls, direction):
+        access = self.access_for(struct_cls)
+        if access is None:
+            return list(struct_cls.fields())
+        wanted = access.all if direction == TO_USER else access.writes
+        return [f for f in struct_cls.fields() if f.name in wanted]
+
+    def struct_names(self):
+        return sorted(self._accesses)
+
+
+class TypeIds:
+    """Stable small integers standing in for 'address of the C XDR
+    marshaling function' as the per-type identifier."""
+
+    _ids = {}
+    _by_id = {}
+
+    @classmethod
+    def id_of(cls, struct_cls):
+        key = struct_cls.__name__
+        if key not in cls._ids:
+            new_id = len(cls._ids) + 1
+            cls._ids[key] = new_id
+            cls._by_id[new_id] = struct_cls
+        return cls._ids[key]
+
+    @classmethod
+    def struct_for(cls, type_id):
+        return cls._by_id.get(type_id)
+
+
+class XdrBuffer:
+    """XDR-flavoured wire buffer: everything 4-byte aligned."""
+
+    def __init__(self, data=b""):
+        self.data = bytearray(data)
+        self.pos = 0
+
+    def __len__(self):
+        return len(self.data)
+
+    # encode
+    def put_u32(self, v):
+        self.data += _struct.pack("<I", v & 0xFFFFFFFF)
+
+    def put_u64(self, v):
+        self.data += _struct.pack("<Q", v & 0xFFFFFFFFFFFFFFFF)
+
+    def put_scalar(self, ctype, value):
+        # XDR promotes everything below 4 bytes to 4 ("hyper" is 8).
+        value = ctype.clamp(int(value))
+        if ctype.size == 8:
+            self.data += _struct.pack("<q" if ctype.signed else "<Q", value)
+        else:
+            self.data += _struct.pack("<i" if ctype.signed else "<I", value)
+
+    def put_bytes(self, raw):
+        self.put_u32(len(raw))
+        self.data += raw
+        while len(self.data) % 4:
+            self.data += b"\x00"
+
+    # decode
+    def get_u32(self):
+        v = _struct.unpack_from("<I", self.data, self.pos)[0]
+        self.pos += 4
+        return v
+
+    def get_u64(self):
+        v = _struct.unpack_from("<Q", self.data, self.pos)[0]
+        self.pos += 8
+        return v
+
+    def get_scalar(self, ctype):
+        if ctype.size == 8:
+            fmt = "<q" if ctype.signed else "<Q"
+            v = _struct.unpack_from(fmt, self.data, self.pos)[0]
+            self.pos += 8
+        else:
+            fmt = "<i" if ctype.signed else "<I"
+            v = _struct.unpack_from(fmt, self.data, self.pos)[0]
+            self.pos += 4
+        return ctype.clamp(v)
+
+    def get_bytes(self):
+        n = self.get_u32()
+        raw = bytes(self.data[self.pos:self.pos + n])
+        self.pos += n
+        while self.pos % 4:
+            self.pos += 1
+        return raw
+
+
+class TransferContext:
+    """Destination-side object resolution used during decode.
+
+    The default implementation is tracker-less (always allocates); the
+    XPC channel subclasses it to consult the kernel/user object
+    trackers and the opaque-handle table.
+    """
+
+    def resolve(self, identity, struct_cls, type_id):
+        """Return (obj, created) for a marshaled object record."""
+        return struct_cls(), True
+
+    def register(self, identity, struct_cls, type_id, obj):
+        """Record identity of an embedded struct reached via a parent."""
+
+    def identity_of(self, obj):
+        """Source side: the wire identity of an object.
+
+        The kernel side uses the object's own C address.  The user side
+        overrides this to translate a Java object to the kernel pointer
+        it mirrors (Fig. 2's ``xlate_j_to_c``).
+        """
+        return obj.c_addr
+
+    def handle_of(self, obj):
+        """Source side: opaque handle for a kernel-private object."""
+        if obj is None:
+            return 0
+        if hasattr(obj, "c_addr"):
+            return obj.c_addr
+        if isinstance(obj, int):
+            return obj
+        return id(obj)
+
+    def object_of(self, handle):
+        """Destination side: restore an opaque handle."""
+        return handle
+
+
+class _DecodeSeen:
+    """Decode-side back-reference table.
+
+    Mirrors the encoder's seen-dict indexing exactly: an identity is
+    assigned an index the first time it is encountered, whether it
+    arrives as a pointed-to object record or inline as an embedded
+    struct.  Both sides must agree on this ordering for back-reference
+    indices to resolve.
+    """
+
+    def __init__(self):
+        self.objects = []
+        self._ids = set()
+
+    def add(self, identity, obj):
+        if identity in self._ids:
+            return
+        self._ids.add(identity)
+        self.objects.append(obj)
+
+
+class MarshalCodec:
+    """Encode/decode struct graphs per a :class:`MarshalPlan`."""
+
+    def __init__(self, plan=None):
+        self.plan = plan or MarshalPlan()
+        self.objects_marshaled = 0
+        self.fields_marshaled = 0
+        self.backrefs = 0
+
+    # -- encode ------------------------------------------------------------------
+
+    def encode(self, obj, struct_cls, direction, ctx=None, _shared_seen=None):
+        """Marshal one object graph; returns wire bytes."""
+        ctx = ctx or TransferContext()
+        buf = XdrBuffer()
+        seen = _shared_seen if _shared_seen is not None else {}
+        self._encode_ref(buf, obj, struct_cls, direction, ctx, seen)
+        return bytes(buf.data)
+
+    def encode_args(self, args, direction, ctx=None):
+        """Marshal several (obj, struct_cls) parameters with one shared
+        back-reference table, so a struct passed twice crosses once."""
+        ctx = ctx or TransferContext()
+        buf = XdrBuffer()
+        seen = {}
+        buf.put_u32(len(args))
+        for obj, struct_cls in args:
+            self._encode_ref(buf, obj, struct_cls, direction, ctx, seen)
+        return bytes(buf.data)
+
+    def _encode_ref(self, buf, obj, struct_cls, direction, ctx, seen):
+        if obj is None:
+            buf.put_u32(TAG_NULL)
+            return
+        identity = ctx.identity_of(obj)
+        if identity in seen:
+            buf.put_u32(TAG_BACKREF)
+            buf.put_u32(seen[identity])
+            self.backrefs += 1
+            return
+        buf.put_u32(TAG_OBJ)
+        buf.put_u64(identity)
+        buf.put_u32(TypeIds.id_of(type(obj)))
+        seen[identity] = len(seen)
+        self._encode_payload(buf, obj, type(obj), identity, direction, ctx, seen)
+
+    def _encode_payload(self, buf, obj, struct_cls, identity, direction, ctx, seen):
+        self.objects_marshaled += 1
+        for field in self.plan.fields_for(struct_cls, direction):
+            self.fields_marshaled += 1
+            value = getattr(obj, field.name)
+            self._encode_field(buf, field, value, identity, direction, ctx, seen)
+
+    def _encode_field(self, buf, field, value, parent_identity, direction, ctx, seen):
+        ctype = field.ctype
+        if isinstance(ctype, Ptr):
+            if field.annotation(Null) is not None:
+                buf.put_u32(TAG_NULL)
+            elif field.annotation(Opaque) is not None:
+                buf.put_u32(TAG_OPAQUE)
+                buf.put_u64(ctx.handle_of(value))
+            elif field.annotation(Exp) is not None:
+                self._encode_exp_array(buf, value)
+            else:
+                target = ctype.resolve()
+                if value is not None and not isinstance(value, target):
+                    raise MarshalError(
+                        "field %s: expected %s, got %r"
+                        % (field.name, target.__name__, type(value).__name__)
+                    )
+                self._encode_ref(buf, value, target, direction, ctx, seen)
+        elif isinstance(ctype, Struct):
+            # Embedded: part of the parent record, encoded inline; its
+            # wire identity is parent + offset (its C address).
+            child_identity = parent_identity + field.offset
+            self._encode_payload(
+                buf, value, ctype.struct_cls, child_identity, direction, ctx, seen
+            )
+            seen.setdefault(child_identity, len(seen))
+        elif isinstance(ctype, Str):
+            raw = str(value or "").encode("utf-8")[: ctype.length]
+            buf.put_bytes(raw)
+        elif isinstance(ctype, Array):
+            for i in range(ctype.length):
+                elem = value[i] if value is not None and i < len(value) else 0
+                buf.put_scalar(ctype.elem, elem)
+        else:
+            buf.put_scalar(ctype, value or 0)
+
+    def _encode_exp_array(self, buf, value):
+        if value is None:
+            buf.put_u32(TAG_NULL)
+            return
+        buf.put_u32(TAG_ARRAY)
+        buf.put_u32(len(value))
+        for elem in value:
+            buf.put_u32(int(elem) & 0xFFFFFFFF)
+
+    # -- decode -------------------------------------------------------------------
+
+    def decode(self, data, struct_cls, direction, ctx=None):
+        ctx = ctx or TransferContext()
+        buf = XdrBuffer(data)
+        seen = _DecodeSeen()
+        return self._decode_ref(buf, struct_cls, direction, ctx, seen)
+
+    def decode_args(self, data, struct_classes, direction, ctx=None):
+        ctx = ctx or TransferContext()
+        buf = XdrBuffer(data)
+        seen = _DecodeSeen()
+        count = buf.get_u32()
+        if count != len(struct_classes):
+            raise MarshalError(
+                "argument count mismatch: wire has %d, caller expects %d"
+                % (count, len(struct_classes))
+            )
+        return [
+            self._decode_ref(buf, cls, direction, ctx, seen)
+            for cls in struct_classes
+        ]
+
+    def _decode_ref(self, buf, struct_cls, direction, ctx, seen):
+        tag = buf.get_u32()
+        if tag == TAG_NULL:
+            return None
+        if tag == TAG_BACKREF:
+            index = buf.get_u32()
+            try:
+                return seen.objects[index]
+            except IndexError:
+                raise MarshalError("bad backref index %d" % index) from None
+        if tag != TAG_OBJ:
+            raise MarshalError("expected object tag, got %d" % tag)
+        identity = buf.get_u64()
+        type_id = buf.get_u32()
+        wire_cls = TypeIds.struct_for(type_id)
+        if wire_cls is None:
+            raise MarshalError("unknown type id %d" % type_id)
+        obj, _created = ctx.resolve(identity, wire_cls, type_id)
+        seen.add(identity, obj)
+        self._decode_payload(buf, obj, wire_cls, identity, direction, ctx, seen)
+        return obj
+
+    def _decode_payload(self, buf, obj, struct_cls, identity, direction, ctx, seen):
+        for field in self.plan.fields_for(struct_cls, direction):
+            self._decode_field(buf, obj, field, identity, direction, ctx, seen)
+
+    def _decode_field(self, buf, obj, field, parent_identity, direction, ctx, seen):
+        ctype = field.ctype
+        if isinstance(ctype, Ptr):
+            if field.annotation(Null) is not None:
+                tag = buf.get_u32()
+                if tag != TAG_NULL:
+                    raise MarshalError("null-annotated field carried data")
+                setattr(obj, field.name, None)
+            elif field.annotation(Opaque) is not None:
+                tag = buf.get_u32()
+                if tag != TAG_OPAQUE:
+                    raise MarshalError("expected opaque handle")
+                handle = buf.get_u64()
+                setattr(obj, field.name, ctx.object_of(handle))
+            elif field.annotation(Exp) is not None:
+                setattr(obj, field.name, self._decode_exp_array(buf))
+            else:
+                target = ctype.resolve()
+                value = self._decode_ref(buf, target, direction, ctx, seen)
+                setattr(obj, field.name, value)
+        elif isinstance(ctype, Struct):
+            child = getattr(obj, field.name)
+            child_identity = parent_identity + field.offset
+            ctx.register(
+                child_identity, ctype.struct_cls,
+                TypeIds.id_of(ctype.struct_cls), child,
+            )
+            self._decode_payload(
+                buf, child, ctype.struct_cls, child_identity, direction, ctx, seen
+            )
+            seen.add(child_identity, child)
+        elif isinstance(ctype, Str):
+            setattr(obj, field.name, buf.get_bytes().decode("utf-8"))
+        elif isinstance(ctype, Array):
+            setattr(
+                obj,
+                field.name,
+                [buf.get_scalar(ctype.elem) for _ in range(ctype.length)],
+            )
+        else:
+            setattr(obj, field.name, buf.get_scalar(ctype))
+
+    def _decode_exp_array(self, buf):
+        tag = buf.get_u32()
+        if tag == TAG_NULL:
+            return None
+        if tag != TAG_ARRAY:
+            raise MarshalError("expected array tag, got %d" % tag)
+        length = buf.get_u32()
+        return [buf.get_u32() for _ in range(length)]
+
+
+def exp_length(field, obj):
+    """Resolve an Exp annotation to a concrete length."""
+    ann = field.annotation(Exp)
+    if ann is None:
+        return None
+    if ann.expr in CONSTANTS:
+        return CONSTANTS[ann.expr]
+    sibling = getattr(obj, ann.expr, None)
+    if sibling is None:
+        raise MarshalError(
+            "cannot resolve exp(%s) on %s" % (ann.expr, type(obj).__name__)
+        )
+    return int(sibling)

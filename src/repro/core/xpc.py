@@ -1,0 +1,296 @@
+"""Extension procedure call (XPC).
+
+XPC provides the five services of section 2.3 -- control transfer,
+object transfer, object sharing, synchronization hooks, and the stub
+call discipline -- across the two boundaries of the Decaf architecture:
+
+* **kernel <-> user** (driver nucleus <-> driver library/decaf driver):
+  a process crossing.  Calling up to user level *sleeps*, so it is
+  checked against the execution context: an upcall from interrupt
+  context or under a spinlock raises, which is precisely the rule that
+  decides the partition.
+* **C <-> Java** (driver library <-> decaf driver): a language crossing
+  (Jeannie/JNI in the paper).  Cheap, no scheduling, but still pays
+  marshaling when arguments are complex.
+
+Every crossing updates counters (Table 3's "User/Kernel Crossings"
+column is :attr:`Xpc.kernel_user_crossings`) and charges the virtual
+clock per the cost model.
+"""
+
+from .domains import DECAF, DRIVER_LIB, KERNEL
+from .marshal import MarshalCodec, TO_KERNEL, TO_USER, TransferContext, TypeIds
+from .objtracker import KernelObjectTracker, UserObjectTracker
+
+
+class XpcError(Exception):
+    pass
+
+
+class _KernelSideContext(TransferContext):
+    """Decode/encode context for the kernel end of a channel."""
+
+    def __init__(self, channel):
+        self._channel = channel
+
+    def resolve(self, identity, struct_cls, type_id):
+        tracker = self._channel.kernel_tracker
+        obj = tracker.lookup(identity)
+        if obj is not None:
+            return obj, False
+        # A user-born object arriving in the kernel for the first time:
+        # allocate the kernel twin and make its address canonical.
+        obj = struct_cls()
+        tracker.register(obj)
+        tracker._by_addr[identity] = obj  # alias the wire identity
+        self._channel.canonicalize_user_object(identity, type_id, obj)
+        return obj, True
+
+    def register(self, identity, struct_cls, type_id, obj):
+        if self._channel.kernel_tracker.lookup(identity) is None:
+            self._channel.kernel_tracker._by_addr[identity] = obj
+
+    def handle_of(self, obj):
+        return self._channel.handle_of(obj)
+
+    def object_of(self, handle):
+        return self._channel.object_of(handle)
+
+
+class _UserSideContext(TransferContext):
+    """Decode/encode context for the user (decaf) end of a channel."""
+
+    def __init__(self, channel):
+        self._channel = channel
+
+    def resolve(self, identity, struct_cls, type_id):
+        tracker = self._channel.user_tracker
+        obj = tracker.xlate_c_to_j(identity, type_id)
+        if obj is not None:
+            return obj, False
+        obj = struct_cls()
+        tracker.associate(
+            identity, type_id, obj, weak=self._channel.weak_shared_objects
+        )
+        return obj, True
+
+    def register(self, identity, struct_cls, type_id, obj):
+        tracker = self._channel.user_tracker
+        if tracker.xlate_c_to_j(identity, type_id) is None:
+            tracker.associate(identity, type_id, obj)
+
+    def identity_of(self, obj):
+        key = self._channel.user_tracker.xlate_j_to_c(obj)
+        if key is not None:
+            return key[0]
+        return obj.c_addr
+
+    def handle_of(self, obj):
+        if isinstance(obj, int):
+            return obj
+        return self._channel.handle_of(obj)
+
+    def object_of(self, handle):
+        # User level keeps opaque kernel pointers as plain integers.
+        return handle
+
+
+class Xpc:
+    """Global XPC bookkeeping shared by all channels of one driver."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.kernel_user_crossings = 0   # round trips across the kernel boundary
+        self.lang_crossings = 0          # round trips across the C/Java boundary
+        self.bytes_marshaled = 0
+        self.upcalls = 0
+        self.downcalls = 0
+
+    def reset_counters(self):
+        self.kernel_user_crossings = 0
+        self.lang_crossings = 0
+        self.bytes_marshaled = 0
+        self.upcalls = 0
+        self.downcalls = 0
+
+
+class XpcChannel:
+    """An XPC endpoint pair with its codec, trackers and handle table.
+
+    One channel serves one decaf driver: the same object trackers back
+    both the kernel/user boundary and the C/Java boundary, with
+    crossings counted separately per boundary.
+    """
+
+    def __init__(self, xpc, domains, plan=None, name="xpc",
+                 weak_shared_objects=False, single_process=True):
+        self.xpc = xpc
+        self.domains = domains
+        self.codec = MarshalCodec(plan)
+        self.name = name
+        self.weak_shared_objects = weak_shared_objects
+        # The decaf driver and driver library share one process, so the
+        # C<->Java control transfer can reuse the calling thread
+        # (section 2.3); separate processes would pay a full dispatch.
+        self.single_process = single_process
+        self.kernel_tracker = KernelObjectTracker()
+        self.user_tracker = UserObjectTracker()
+        self.kernel_ctx = _KernelSideContext(self)
+        self.user_ctx = _UserSideContext(self)
+        self._handles = {}
+        self._canonical_map = {}
+
+    # -- opaque handles ---------------------------------------------------------
+
+    def handle_of(self, obj):
+        if obj is None:
+            return 0
+        if isinstance(obj, int):
+            return obj
+        handle = id(obj)
+        self._handles[handle] = obj
+        return handle
+
+    def object_of(self, handle):
+        if handle == 0:
+            return None
+        return self._handles.get(handle, handle)
+
+    def canonicalize_user_object(self, user_identity, type_id, kernel_obj):
+        """Re-key a Java-born object to its new kernel twin's address."""
+        tracker = self.user_tracker
+        java_obj = tracker.xlate_c_to_j(user_identity, type_id)
+        if java_obj is not None:
+            tracker.disassociate(java_obj)
+            tracker.associate(kernel_obj.c_addr, type_id, java_obj)
+        self._canonical_map[user_identity] = kernel_obj.c_addr
+
+    # -- cost charging ------------------------------------------------------------
+
+    def _charge_marshal(self, nbytes, nfields):
+        costs = self.xpc.kernel.costs
+        self.xpc.bytes_marshaled += nbytes
+        self.xpc.kernel.consume(
+            int(nbytes * costs.marshal_byte_ns + nfields * costs.marshal_field_ns),
+            busy=True,
+            category="marshal",
+        )
+
+    def _charge_kernel_crossing(self):
+        # The crossing itself (syscall, copies) burns CPU; the thread
+        # dispatch is mostly *waiting* for the scheduler and the user
+        # process -- latency, not CPU -- so it is charged as idle time.
+        costs = self.xpc.kernel.costs
+        self.xpc.kernel.consume(
+            costs.xpc_kernel_user_ns, busy=True, category="xpc"
+        )
+        self.xpc.kernel.consume(
+            costs.xpc_thread_dispatch_ns, busy=False, category="xpc-wait"
+        )
+
+    def _charge_lang_crossing(self):
+        costs = self.xpc.kernel.costs
+        dispatch = 0 if self.single_process else costs.xpc_thread_dispatch_ns
+        self.xpc.kernel.consume(
+            costs.xpc_lang_ns + dispatch, busy=True, category="xpc"
+        )
+
+    # -- marshaling helpers shared by stubs ------------------------------------------
+
+    def _transfer_args(self, args, direction):
+        """Marshal (obj, cls) pairs across; returns twin objects."""
+        if direction == TO_USER:
+            src_ctx, dst_ctx = self.kernel_ctx, self.user_ctx
+        else:
+            src_ctx, dst_ctx = self.user_ctx, self.kernel_ctx
+        before = self.codec.fields_marshaled
+        data = self.codec.encode_args(args, direction, ctx=src_ctx)
+        twins = self.codec.decode_args(
+            data, [cls for _obj, cls in args], direction, ctx=dst_ctx
+        )
+        self._charge_marshal(len(data), self.codec.fields_marshaled - before)
+        return twins
+
+    # -- the four call paths -------------------------------------------------------------
+
+    def upcall(self, func, args=(), extra=None):
+        """Kernel -> user: invoke a user-level function.
+
+        ``args`` is a sequence of (kernel_obj_or_None, struct_cls);
+        ``extra`` is a tuple of scalars passed through unmarshaled.
+        Returns the function's return value (scalars only, per RPC
+        semantics).  Sleeps: rejected in atomic context.
+        """
+        kernel = self.xpc.kernel
+        kernel.context.might_sleep("XPC upcall to user level")
+        self.xpc.upcalls += 1
+        self.xpc.kernel_user_crossings += 1
+        self._charge_kernel_crossing()
+        twins = self._transfer_args(list(args), TO_USER)
+        self.domains.push(DRIVER_LIB)
+        try:
+            call_args = list(twins) + list(extra or ())
+            ret = func(*call_args)
+        finally:
+            self.domains.pop(DRIVER_LIB)
+        # Return path: writable fields propagate back to the kernel.
+        self._transfer_args(list(args_back(args, twins)), TO_KERNEL)
+        self._charge_kernel_crossing()
+        return ret
+
+    def downcall(self, func, args=(), extra=None):
+        """User -> kernel: invoke a kernel function from user level."""
+        kernel = self.xpc.kernel
+        self.xpc.downcalls += 1
+        self.xpc.kernel_user_crossings += 1
+        self._charge_kernel_crossing()
+        twins = self._transfer_args(list(args), TO_KERNEL)
+        self.domains.push(KERNEL)
+        try:
+            call_args = list(twins) + list(extra or ())
+            ret = func(*call_args)
+        finally:
+            self.domains.pop(KERNEL)
+        self._transfer_args(list(args_back(args, twins)), TO_USER)
+        self._charge_kernel_crossing()
+        return ret
+
+    def lang_call(self, func, args=(), extra=None, to_java=True):
+        """C <-> Java call through the language boundary (Jeannie/JNI).
+
+        Used between the driver library and the decaf driver when
+        arguments are complex; scalar-only calls may bypass XPC
+        entirely via :meth:`direct_call`.
+        """
+        self.xpc.lang_crossings += 1
+        self._charge_lang_crossing()
+        direction = TO_USER if to_java else TO_KERNEL
+        twins = self._transfer_args(list(args), direction)
+        domain = DECAF if to_java else DRIVER_LIB
+        self.domains.push(domain)
+        try:
+            call_args = list(twins) + list(extra or ())
+            ret = func(*call_args)
+        finally:
+            self.domains.pop(domain)
+        back = TO_KERNEL if to_java else TO_USER
+        self._transfer_args(list(args_back(args, twins)), back)
+        return ret
+
+    def direct_call(self, func, *scalars):
+        """Direct cross-language call for scalar arguments (3.1.1).
+
+        No marshaling, no object tracking; just the language-transition
+        cost.  The ablation bench compares this against lang_call.
+        """
+        self.xpc.lang_crossings += 1
+        self._charge_lang_crossing()
+        return func(*scalars)
+
+
+def args_back(args, twins):
+    """Pair each twin with its original struct class for the return trip."""
+    return [
+        (twin, cls)
+        for twin, (_obj, cls) in zip(twins, args)
+    ]

@@ -1,0 +1,28 @@
+"""Register-level device models.
+
+Each model implements the hardware side of a real device closely enough
+that the corresponding driver performs the same register/DMA/interrupt
+dance it would on silicon: EEPROM serial reads, PHY management registers,
+descriptor rings in DMA memory, port status registers, PS/2 command
+protocols.  Models attach to the simulated kernel's I/O space and IRQ
+controller; drivers never call a model directly.
+"""
+
+from .link import EthernetLink, TrafficGenerator
+from .e1000 import E1000Device, E1000_DEVICE_IDS
+from .rtl8139 import Rtl8139Device
+from .ens1371 import Ens1371Device
+from .uhci import UhciDevice, UsbFlashDiskModel
+from .ps2mouse import Ps2MouseDevice
+
+__all__ = [
+    "EthernetLink",
+    "TrafficGenerator",
+    "E1000Device",
+    "E1000_DEVICE_IDS",
+    "Rtl8139Device",
+    "Ens1371Device",
+    "UhciDevice",
+    "UsbFlashDiskModel",
+    "Ps2MouseDevice",
+]

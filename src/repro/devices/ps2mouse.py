@@ -1,0 +1,145 @@
+"""PS/2 mouse device model.
+
+Speaks the PS/2 mouse command protocol over a serio port: reset with
+self-test, identification, sample-rate and resolution programming, the
+IntelliMouse "magic knock" (sample rates 200, 100, 80) that upgrades the
+device ID to 3 and enables the 4-byte wheel packet, and streaming of
+movement packets while reporting is enabled.
+
+Every byte to the host is delivered through ``port.deliver`` in hardirq
+context, exercising the psmouse driver's interrupt-side protocol decode.
+"""
+
+PSMOUSE_RESET = 0xFF
+PSMOUSE_RESEND = 0xFE
+PSMOUSE_SET_DEFAULTS = 0xF6
+PSMOUSE_DISABLE = 0xF5
+PSMOUSE_ENABLE = 0xF4
+PSMOUSE_SET_RATE = 0xF3
+PSMOUSE_GET_ID = 0xF2
+PSMOUSE_SET_REMOTE = 0xF0
+PSMOUSE_SET_WRAP = 0xEE
+PSMOUSE_RESET_WRAP = 0xEC
+PSMOUSE_READ_DATA = 0xEB
+PSMOUSE_SET_STREAM = 0xEA
+PSMOUSE_STATUS_REQUEST = 0xE9
+PSMOUSE_SET_RESOLUTION = 0xE8
+PSMOUSE_SET_SCALE21 = 0xE7
+PSMOUSE_SET_SCALE11 = 0xE6
+
+ACK = 0xFA
+NAK = 0xFE
+SELFTEST_PASSED = 0xAA
+
+ID_STANDARD = 0x00
+ID_INTELLIMOUSE = 0x03
+
+
+class Ps2MouseDevice:
+    def __init__(self, kernel, intellimouse_capable=True):
+        self._kernel = kernel
+        self.intellimouse_capable = intellimouse_capable
+        self.port = None
+        self.resets = 0
+        self.packets_sent = 0
+        self._reset_state()
+
+    def _reset_state(self):
+        self.device_id = ID_STANDARD
+        self.sample_rate = 100
+        self.resolution = 4
+        self.reporting = False
+        self.scale21 = False
+        self._awaiting_arg = None
+        self._knock = []
+        self._buttons = 0
+
+    def attach(self, port):
+        self.port = port
+        port.attach_device(self)
+
+    # -- host -> device bytes ------------------------------------------------------
+
+    def handle_byte(self, port, byte):
+        if self._awaiting_arg is not None:
+            command = self._awaiting_arg
+            self._awaiting_arg = None
+            self._handle_arg(command, byte)
+            return
+        if byte == PSMOUSE_RESET:
+            self.resets += 1
+            self._reset_state()
+            self._send(ACK)
+            # Self-test takes a visible while on real mice.
+            self._kernel.consume(50_000_000, busy=False, category="ps2-reset")
+            self._send(SELFTEST_PASSED)
+            self._send(ID_STANDARD)
+        elif byte == PSMOUSE_GET_ID:
+            self._send(ACK)
+            self._send(self.device_id)
+        elif byte == PSMOUSE_SET_RATE:
+            self._send(ACK)
+            self._awaiting_arg = PSMOUSE_SET_RATE
+        elif byte == PSMOUSE_SET_RESOLUTION:
+            self._send(ACK)
+            self._awaiting_arg = PSMOUSE_SET_RESOLUTION
+        elif byte == PSMOUSE_ENABLE:
+            self.reporting = True
+            self._send(ACK)
+        elif byte == PSMOUSE_DISABLE:
+            self.reporting = False
+            self._send(ACK)
+        elif byte == PSMOUSE_SET_DEFAULTS:
+            self.sample_rate = 100
+            self.resolution = 4
+            self._send(ACK)
+        elif byte == PSMOUSE_STATUS_REQUEST:
+            self._send(ACK)
+            self._send(0x20 if self.reporting else 0x00)
+            self._send(self.resolution)
+            self._send(self.sample_rate)
+        elif byte in (PSMOUSE_SET_SCALE11, PSMOUSE_SET_SCALE21):
+            self.scale21 = byte == PSMOUSE_SET_SCALE21
+            self._send(ACK)
+        elif byte in (PSMOUSE_SET_STREAM, PSMOUSE_SET_REMOTE,
+                      PSMOUSE_RESET_WRAP):
+            self._send(ACK)
+        else:
+            self._send(NAK)
+
+    def _handle_arg(self, command, value):
+        if command == PSMOUSE_SET_RATE:
+            self.sample_rate = value
+            self._knock.append(value)
+            self._knock = self._knock[-3:]
+            if (
+                self.intellimouse_capable
+                and self._knock == [200, 100, 80]
+                and self.device_id == ID_STANDARD
+            ):
+                self.device_id = ID_INTELLIMOUSE
+        elif command == PSMOUSE_SET_RESOLUTION:
+            self.resolution = value
+        self._send(ACK)
+
+    def _send(self, byte):
+        if self.port is not None:
+            self.port.deliver(byte)
+
+    # -- movement injection (workload side) ---------------------------------------------
+
+    def move(self, dx, dy, buttons=0, wheel=0):
+        """Generate one movement packet if reporting is enabled."""
+        if not self.reporting or self.port is None:
+            return False
+        self._buttons = buttons & 0x07
+        sx = 1 if dx < 0 else 0
+        sy = 1 if dy < 0 else 0
+        b0 = 0x08 | self._buttons | (sx << 4) | (sy << 5)
+        self._send(b0)
+        self._send(dx & 0xFF)
+        self._send(dy & 0xFF)
+        if self.device_id == ID_INTELLIMOUSE:
+            self._send(wheel & 0xFF)
+        self.packets_sent += 1
+        return True

@@ -1,0 +1,234 @@
+"""RealTek RTL8139 fast-ethernet NIC model.
+
+Port-I/O programmed like the real chip: MAC address in the IDR registers,
+four transmit slots (TSD/TSAD), a single receive ring buffer the device
+writes packet-header-prefixed frames into, the CR/ISR/IMR command and
+interrupt scheme with write-1-to-clear status bits.
+"""
+
+import struct
+
+from ..kernel.pci import PciBar, PciFunction
+
+REALTEK_VENDOR_ID = 0x10EC
+RTL8139_DEVICE_ID = 0x8139
+
+# Register offsets within the 256-byte port window.
+IDR0 = 0x00          # 6 bytes of MAC address
+MAR0 = 0x08          # multicast filter
+TSD0 = 0x10          # 4 x transmit status (dword)
+TSAD0 = 0x20         # 4 x transmit start address (dword)
+RBSTART = 0x30
+ERBCR = 0x34
+ERSR = 0x36
+CR = 0x37
+CAPR = 0x38
+CBR = 0x3A
+IMR = 0x3C
+ISR = 0x3E
+TCR = 0x40
+RCR = 0x44
+TCTR = 0x48
+MPC = 0x4C
+CFG9346 = 0x50
+CONFIG0 = 0x51
+CONFIG1 = 0x52
+MSR = 0x58
+BMCR = 0x62
+BMSR = 0x64
+
+# CR bits.
+CR_BUFE = 0x01
+CR_TE = 0x04
+CR_RE = 0x08
+CR_RST = 0x10
+
+# ISR/IMR bits.
+ISR_ROK = 0x0001
+ISR_RER = 0x0002
+ISR_TOK = 0x0004
+ISR_TER = 0x0008
+ISR_RXOVW = 0x0010
+
+# TSD bits.
+TSD_OWN = 1 << 13
+TSD_TOK = 1 << 15
+
+# RX packet header status.
+RX_STAT_ROK = 0x0001
+
+# MSR bits.
+MSR_LINKB = 0x04  # inverse link indicator: 0 = link up
+
+RX_RING_SIZE = 32 * 1024
+NUM_TX_DESC = 4
+
+
+class Rtl8139Device:
+    BAR_SIZE = 0x100
+
+    def __init__(self, kernel, link, mac=b"\x00\xE0\x4C\x39\x13\x9A",
+                 irq=11, io_base=0xC000):
+        self._kernel = kernel
+        self.link = link
+        link.nic_rx = self._link_rx
+        self.mac = bytes(mac)
+        self.irq = irq
+
+        self.pci = PciFunction(
+            vendor_id=REALTEK_VENDOR_ID,
+            device_id=RTL8139_DEVICE_ID,
+            irq=irq,
+            bars=[PciBar(io_base, self.BAR_SIZE, is_mmio=False, handler=self)],
+            name="rtl8139",
+        )
+
+        self.resets = 0
+        self.frames_transmitted = 0
+        self.frames_received = 0
+        self.rx_overflows = 0
+        self._reset_state()
+
+    def _reset_state(self):
+        self.regs = bytearray(256)
+        self.regs[IDR0:IDR0 + 6] = self.mac
+        self.regs[CR] = CR_BUFE
+        self.regs[MSR] = 0x00  # link up (LINKB=0)
+        struct.pack_into("<H", self.regs, BMSR, 0x7849 | 0x0004 | 0x0020)
+        self._rx_write_off = 0
+        self._rx_read_off = 0
+        self._rx_enabled = False
+        self._tx_enabled = False
+
+    # -- helpers --------------------------------------------------------------
+
+    def _reg16(self, off):
+        return struct.unpack_from("<H", self.regs, off)[0]
+
+    def _set_reg16(self, off, val):
+        struct.pack_into("<H", self.regs, off, val & 0xFFFF)
+
+    def _reg32(self, off):
+        return struct.unpack_from("<I", self.regs, off)[0]
+
+    def _set_reg32(self, off, val):
+        struct.pack_into("<I", self.regs, off, val & 0xFFFFFFFF)
+
+    def _assert_irq(self, bits):
+        self._set_reg16(ISR, self._reg16(ISR) | bits)
+        if self._reg16(ISR) & self._reg16(IMR):
+            self._kernel.irq.raise_irq(self.irq)
+
+    # -- I/O handler interface -----------------------------------------------------
+
+    def read(self, offset, size):
+        if size == 1:
+            return self.regs[offset]
+        if size == 2:
+            return self._reg16(offset)
+        return self._reg32(offset)
+
+    def write(self, offset, value, size):
+        if offset == CR and size == 1:
+            self._write_cr(value)
+            return
+        if offset == ISR and size == 2:
+            # Write-1-to-clear.
+            self._set_reg16(ISR, self._reg16(ISR) & ~value)
+            return
+        if TSD0 <= offset < TSD0 + 4 * NUM_TX_DESC and size == 4:
+            slot = (offset - TSD0) // 4
+            self._write_tsd(slot, value)
+            return
+        if offset == CAPR and size == 2:
+            self._set_reg16(CAPR, value)
+            # The driver writes cur_rx - 16; the hardware's read pointer
+            # is therefore CAPR + 16.
+            self._rx_read_off = (value + 16) % RX_RING_SIZE
+            self.update_bufe()
+            return
+        if size == 1:
+            self.regs[offset] = value & 0xFF
+        elif size == 2:
+            self._set_reg16(offset, value)
+        else:
+            self._set_reg32(offset, value)
+
+    # -- command register -------------------------------------------------------------
+
+    def _write_cr(self, value):
+        if value & CR_RST:
+            self.resets += 1
+            mac = bytes(self.regs[IDR0:IDR0 + 6])
+            self._reset_state()
+            self.regs[IDR0:IDR0 + 6] = mac
+            # Reset completes after a short delay; RST bit self-clears.
+            self.regs[CR] = CR_BUFE
+            self._kernel.consume(10_000, busy=False, category="nic-reset")
+            return
+        self._rx_enabled = bool(value & CR_RE)
+        self._tx_enabled = bool(value & CR_TE)
+        buf_empty = self.regs[CR] & CR_BUFE
+        self.regs[CR] = (value & (CR_RE | CR_TE)) | buf_empty
+
+    # -- transmit ----------------------------------------------------------------------
+
+    def _write_tsd(self, slot, value):
+        self._set_reg32(TSD0 + 4 * slot, value)
+        if value & TSD_OWN:
+            return  # driver reclaiming, nothing to send
+        if not self._tx_enabled:
+            return
+        length = value & 0x1FFF
+        addr = self._reg32(TSAD0 + 4 * slot)
+        region, off = self._kernel.memory.dma_find(addr)
+        if region is None:
+            self._assert_irq(ISR_TER)
+            return
+        frame = bytes(region.data[off:off + length])
+        done_ns = self.link.transmit(frame)
+        self.frames_transmitted += 1
+
+        # Completion status and the TOK interrupt land at wire time, so
+        # transmit throughput is link-limited as on hardware.
+        def complete():
+            self._set_reg32(TSD0 + 4 * slot, value | TSD_OWN | TSD_TOK)
+            self._assert_irq(ISR_TOK)
+
+        self._kernel.events.schedule_at(done_ns, complete,
+                                        name="rtl8139-txdone")
+
+    # -- receive ---------------------------------------------------------------------------
+
+    def _link_rx(self, frame):
+        if not self._rx_enabled:
+            return
+        addr = self._reg32(RBSTART)
+        region, base_off = self._kernel.memory.dma_find(addr)
+        if region is None:
+            return
+        # 4-byte header (status, length incl 4-byte CRC), then frame data,
+        # dword aligned.
+        total = 4 + len(frame) + 4
+        total_aligned = (total + 3) & ~3
+        used = (self._rx_write_off - self._rx_read_off) % RX_RING_SIZE
+        if used + total_aligned >= RX_RING_SIZE:
+            self.rx_overflows += 1
+            self._assert_irq(ISR_RXOVW)
+            return
+        off = self._rx_write_off
+        header = struct.pack("<HH", RX_STAT_ROK, len(frame) + 4)
+        payload = header + frame + b"\x00\x00\x00\x00"
+        for i, byte in enumerate(payload):
+            region.data[base_off + (off + i) % RX_RING_SIZE] = byte
+        self._rx_write_off = (off + total_aligned) % RX_RING_SIZE
+        self._set_reg16(CBR, self._rx_write_off)
+        self.regs[CR] &= ~CR_BUFE
+        self.frames_received += 1
+        self._assert_irq(ISR_ROK)
+
+    def update_bufe(self):
+        if self._rx_read_off == self._rx_write_off:
+            self.regs[CR] |= CR_BUFE
+        else:
+            self.regs[CR] &= ~CR_BUFE

@@ -1,0 +1,12 @@
+"""Device drivers: legacy (conversion input) and decaf (conversion output).
+
+``repro.drivers.legacy`` holds the five drivers the paper starts from,
+written in deliberately C-idiomatic style (integer errno returns, manual
+cleanup chains, module-level functions named as in the Linux source)
+against the :mod:`repro.drivers.linuxapi` facade -- the "kernel headers".
+
+``repro.drivers.decaf`` holds the converted drivers: a small driver
+nucleus that stays in the kernel plus a managed-language decaf driver
+using exceptions, classes and the decaf runtime, communicating through
+XPC exactly as produced by DriverSlicer.
+"""

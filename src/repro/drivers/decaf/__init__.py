@@ -1,0 +1,17 @@
+"""Decaf drivers: the conversion outputs.
+
+Each driver is split per the DriverSlicer partition into
+
+* a **nucleus** module (``<name>_nucleus``): the kernel-resident
+  functions (interrupt handler, data path) -- the same code as the
+  legacy driver -- plus the XPC entry stubs that transfer driver
+  interface calls to user level; and
+* a **decaf** module (``<name>_decaf``): the user-level driver in
+  managed style -- classes, checked exceptions instead of errno
+  returns, collections -- running in the DECAF domain and touching the
+  kernel only through marshaled XPC objects and the decaf runtime's
+  helper routines.
+
+``exceptions`` defines the checked-exception hierarchy the paper's
+case study introduces (section 5.1, Figures 4-5).
+"""

@@ -1,0 +1,472 @@
+"""E1000 chip layer, decaf version: the Figure 5 conversion.
+
+The legacy ``e1000_hw.c`` propagates integer codes through
+``ret_val = ...; if ret_val: return ret_val`` chains.  This class is
+the same logic rewritten the way the paper's case study rewrote it:
+
+* a **class** wrapping the ``e1000_hw`` structure, removing the
+  ``hw`` parameter from every internal call (the paper measured 6.5 KB
+  of code removed by this change alone);
+* **checked exceptions** instead of return codes -- the error chains
+  vanish (the paper cut 675 lines, ~8%, from e1000_hw.c);
+* reads return their value directly instead of through out-parameters.
+
+Register access goes through the decaf runtime's helper routines
+(user-mapped MMIO).
+"""
+
+from ..legacy import e1000_hw as hw_defs
+from ..legacy.e1000_hw import (
+    CTRL, STATUS, EECD, EERD, MDIC, ICR, ICS, IMS, IMC, RCTL, TCTL,
+    LEDCTL, MTA, RAL0, VFTA, CRCERRS, FCAL, FCAH, FCT, FCTTV,
+    E1000_CTRL_ASDE, E1000_CTRL_FD, E1000_CTRL_FRCDPX, E1000_CTRL_FRCSPD,
+    E1000_CTRL_PHY_RST, E1000_CTRL_RFCE, E1000_CTRL_RST, E1000_CTRL_SLU,
+    E1000_CTRL_SPD_1000, E1000_CTRL_TFCE,
+    E1000_EERD_DONE, E1000_EERD_START,
+    E1000_FC_DEFAULT, E1000_FC_FULL, E1000_FC_NONE, E1000_FC_RX_PAUSE,
+    E1000_FC_TX_PAUSE,
+    E1000_MDIC_ERROR, E1000_MDIC_OP_READ, E1000_MDIC_OP_WRITE,
+    E1000_MDIC_READY,
+    E1000_RAH_AV, E1000_STATUS_FD, E1000_STATUS_LU,
+    E1000_TCTL_PSP,
+    EEPROM_CHECKSUM_REG, EEPROM_INIT_CONTROL2_REG, EEPROM_SUM,
+    IGP01E1000_E_PHY_ID, IGP01E1000_IEEE_FORCE_GIGA,
+    M88E1000_E_PHY_ID, M88E1000_PHY_SPEC_CTRL, M88E1000_PHY_SPEC_STATUS,
+    IGP01E1000_PHY_PORT_CONFIG,
+    MII_CR_AUTO_NEG_EN, MII_CR_RESET, MII_CR_RESTART_AUTO_NEG,
+    MII_SR_AUTONEG_COMPLETE, MII_SR_LINK_STATUS,
+    NODE_ADDRESS_SIZE,
+    PHY_1000T_CTRL, PHY_1000T_STATUS, PHY_AUTONEG_ADV, PHY_CTRL, PHY_ID1,
+    PHY_ID2, PHY_REVISION_MASK, PHY_STATUS,
+    DEVICE_ID_TO_MAC_TYPE,
+    E1000_PHY_IGP, E1000_PHY_M88, E1000_PHY_UNDEFINED,
+    E1000_FFE_CONFIG_ACTIVE, E1000_FFE_CONFIG_ENABLED,
+)
+from .exceptions import (
+    ConfigException,
+    E1000HWException,
+    EepromException,
+    PhyException,
+)
+
+
+class E1000Hw:
+    """The e1000_hw structure wrapped as a class (case study, 5.1)."""
+
+    def __init__(self, hw_struct, rt):
+        self.hw = hw_struct   # the marshaled e1000_hw twin
+        self.rt = rt          # decaf runtime: readl/writel/msleep/udelay
+
+    # -- register access ---------------------------------------------------------
+
+    def read_reg(self, reg):
+        return self.rt.readl(self.hw.hw_addr + reg)
+
+    def write_reg(self, reg, value):
+        self.rt.writel(value, self.hw.hw_addr + reg)
+
+    def write_flush(self):
+        self.read_reg(STATUS)
+
+    def read_reg_array(self, reg, index):
+        return self.rt.readl(self.hw.hw_addr + reg + (index << 2))
+
+    def write_reg_array(self, reg, index, value):
+        self.rt.writel(value, self.hw.hw_addr + reg + (index << 2))
+
+    # -- MAC setup ------------------------------------------------------------------
+
+    def set_mac_type(self):
+        mac_type = DEVICE_ID_TO_MAC_TYPE.get(self.hw.device_id)
+        if mac_type is None:
+            raise ConfigException(
+                "unknown device id %#x" % self.hw.device_id
+            )
+        self.hw.mac_type = mac_type
+
+    def set_media_type(self):
+        self.hw.media_type = 1  # copper
+
+    def reset_hw(self):
+        self.write_reg(IMC, 0xFFFFFFFF)
+        self.write_reg(RCTL, 0)
+        self.write_reg(TCTL, E1000_TCTL_PSP)
+        self.write_flush()
+        self.rt.msleep(10)
+        ctrl = self.read_reg(CTRL)
+        self.write_reg(CTRL, ctrl | E1000_CTRL_RST)
+        self.rt.msleep(5)
+        self.write_reg(IMC, 0xFFFFFFFF)
+        self.read_reg(ICR)
+
+    def init_hw(self):
+        self.id_led_init()
+        self.init_rx_addrs()
+        for i in range(128):
+            self.write_reg_array(MTA, i, 0)
+        self.setup_link()
+        self.clear_hw_cntrs()
+
+    def init_rx_addrs(self):
+        self.rar_set(self.hw.mac_addr, 0)
+        for i in range(1, 16):
+            self.write_reg_array(RAL0, i << 1, 0)
+            self.write_reg_array(RAL0, (i << 1) + 1, 0)
+
+    def rar_set(self, addr, index):
+        rar_low = addr[0] | (addr[1] << 8) | (addr[2] << 16) | (addr[3] << 24)
+        rar_high = addr[4] | (addr[5] << 8) | E1000_RAH_AV
+        self.write_reg_array(RAL0, index << 1, rar_low)
+        self.write_reg_array(RAL0, (index << 1) + 1, rar_high)
+
+    def mta_set(self, hash_value):
+        hash_reg = (hash_value >> 5) & 0x7F
+        hash_bit = hash_value & 0x1F
+        mta = self.read_reg_array(MTA, hash_reg)
+        self.write_reg_array(MTA, hash_reg, mta | (1 << hash_bit))
+
+    def hash_mc_addr(self, mc_addr):
+        return ((mc_addr[4] >> 4) | (mc_addr[5] << 4)) & 0xFFF
+
+    def clear_vfta(self):
+        for offset in range(128):
+            self.write_reg_array(VFTA, offset, 0)
+
+    def clear_hw_cntrs(self):
+        for i in range(64):
+            self.read_reg(CRCERRS + (i << 2))
+
+    def id_led_init(self):
+        self.read_eeprom(0x04)
+        self.hw.ledctl_default = self.read_reg(LEDCTL)
+        self.hw.ledctl_mode1 = self.hw.ledctl_default
+        self.hw.ledctl_mode2 = self.hw.ledctl_default
+
+    # -- EEPROM ------------------------------------------------------------------------
+
+    def read_eeprom(self, offset, words=1):
+        """Read EEPROM words; returns an int (one word) or list."""
+        data = []
+        for i in range(words):
+            self.write_reg(EERD, ((offset + i) << 8) | E1000_EERD_START)
+            self._poll_eerd_done()
+            data.append((self.read_reg(EERD) >> 16) & 0xFFFF)
+        return data[0] if words == 1 else data
+
+    def _poll_eerd_done(self):
+        for _attempt in range(100):
+            if self.read_reg(EERD) & E1000_EERD_DONE:
+                return
+            self.rt.udelay(5)
+        raise EepromException("EERD poll timed out")
+
+    def validate_eeprom_checksum(self):
+        checksum = 0
+        for i in range(EEPROM_CHECKSUM_REG + 1):
+            checksum = (checksum + self.read_eeprom(i)) & 0xFFFF
+        if checksum != EEPROM_SUM:
+            raise EepromException(
+                "checksum %#06x != %#06x" % (checksum, EEPROM_SUM)
+            )
+
+    def read_mac_addr(self):
+        for i in range(0, NODE_ADDRESS_SIZE, 2):
+            data = self.read_eeprom(i >> 1)
+            self.hw.perm_mac_addr[i] = data & 0xFF
+            self.hw.perm_mac_addr[i + 1] = (data >> 8) & 0xFF
+        self.hw.mac_addr = list(self.hw.perm_mac_addr)
+
+    def write_eeprom(self, offset, data):
+        if offset >= 64:
+            raise EepromException("offset %d out of range" % offset)
+        self.rt.udelay(50)
+
+    def update_eeprom_checksum(self):
+        checksum = 0
+        for i in range(EEPROM_CHECKSUM_REG):
+            checksum = (checksum + self.read_eeprom(i)) & 0xFFFF
+        # Unlike the original (which dropped this error), a write
+        # failure now propagates -- one of the 28 fixed cases.
+        self.write_eeprom(EEPROM_CHECKSUM_REG, (EEPROM_SUM - checksum) & 0xFFFF)
+
+    # -- PHY ---------------------------------------------------------------------------
+
+    def read_phy_reg(self, reg_addr):
+        self.write_reg(MDIC, (reg_addr << 16) | E1000_MDIC_OP_READ)
+        for _attempt in range(64):
+            mdic = self.read_reg(MDIC)
+            if mdic & E1000_MDIC_READY:
+                if mdic & E1000_MDIC_ERROR:
+                    raise PhyException("MDIC read error, reg %#x" % reg_addr)
+                return mdic & 0xFFFF
+            self.rt.udelay(50)
+        raise PhyException("MDIC read timeout, reg %#x" % reg_addr)
+
+    def write_phy_reg(self, reg_addr, data):
+        self.write_reg(
+            MDIC, (reg_addr << 16) | E1000_MDIC_OP_WRITE | (data & 0xFFFF)
+        )
+        for _attempt in range(64):
+            mdic = self.read_reg(MDIC)
+            if mdic & E1000_MDIC_READY:
+                if mdic & E1000_MDIC_ERROR:
+                    raise PhyException("MDIC write error, reg %#x" % reg_addr)
+                return
+            self.rt.udelay(50)
+        raise PhyException("MDIC write timeout, reg %#x" % reg_addr)
+
+    def phy_hw_reset(self):
+        ctrl = self.read_reg(CTRL)
+        self.write_reg(CTRL, ctrl | E1000_CTRL_PHY_RST)
+        self.rt.msleep(10)
+        self.write_reg(CTRL, ctrl)
+        self.rt.msleep(10)
+
+    def phy_reset(self):
+        phy_ctrl = self.read_phy_reg(PHY_CTRL)
+        self.write_phy_reg(PHY_CTRL, phy_ctrl | MII_CR_RESET)
+        self.rt.udelay(1)
+
+    def detect_gig_phy(self):
+        phy_id_high = self.read_phy_reg(PHY_ID1)
+        self.rt.udelay(20)
+        phy_id_low = self.read_phy_reg(PHY_ID2)
+        self.hw.phy_id = ((phy_id_high << 16) | phy_id_low) & 0xFFFFFFFF
+        self.hw.phy_revision = self.hw.phy_id & ~PHY_REVISION_MASK
+        masked = self.hw.phy_id & PHY_REVISION_MASK
+        if masked == (M88E1000_E_PHY_ID & PHY_REVISION_MASK):
+            self.hw.phy_type = E1000_PHY_M88
+        elif masked == (IGP01E1000_E_PHY_ID & PHY_REVISION_MASK):
+            self.hw.phy_type = E1000_PHY_IGP
+        else:
+            self.hw.phy_type = E1000_PHY_UNDEFINED
+            raise PhyException("unknown PHY id %#x" % self.hw.phy_id)
+
+    def power_up_phy(self):
+        mii_reg = self.read_phy_reg(PHY_CTRL)
+        # The original ignored this write's failure; now it propagates.
+        self.write_phy_reg(PHY_CTRL, mii_reg & ~0x0800)
+
+    def power_down_phy(self):
+        mii_reg = self.read_phy_reg(PHY_CTRL)
+        self.write_phy_reg(PHY_CTRL, mii_reg | 0x0800)
+
+    # -- link --------------------------------------------------------------------------
+
+    def setup_link(self):
+        if self.hw.fc == E1000_FC_DEFAULT:
+            eeprom_data = self.read_eeprom(EEPROM_INIT_CONTROL2_REG)
+            if eeprom_data & 0x3000:
+                self.hw.fc = E1000_FC_FULL
+            else:
+                self.hw.fc = E1000_FC_NONE
+        self.hw.original_fc = self.hw.fc
+
+        self.setup_copper_link()
+
+        self.write_reg(FCT, 0x8808)
+        self.write_reg(FCAH, 0x0100)
+        self.write_reg(FCAL, 0x00C28001)
+        self.write_reg(FCTTV, self.hw.fc_pause_time)
+
+    def setup_copper_link(self):
+        ctrl = self.read_reg(CTRL)
+        ctrl |= E1000_CTRL_SLU
+        ctrl &= ~(E1000_CTRL_FRCSPD | E1000_CTRL_FRCDPX)
+        self.write_reg(CTRL, ctrl)
+
+        self.detect_gig_phy()
+
+        if self.hw.autoneg:
+            self.copper_link_autoneg()
+        else:
+            self.phy_force_speed_duplex()
+
+        for _i in range(10):
+            if self.read_phy_reg(PHY_STATUS) & MII_SR_LINK_STATUS:
+                self.config_mac_to_phy()
+                self.config_fc_after_link_up()
+                return
+            self.rt.msleep(10)
+        # Link may come up later; not an error.
+
+    def copper_link_autoneg(self):
+        self.phy_setup_autoneg()
+        phy_ctrl = self.read_phy_reg(PHY_CTRL)
+        phy_ctrl |= MII_CR_AUTO_NEG_EN | MII_CR_RESTART_AUTO_NEG
+        self.write_phy_reg(PHY_CTRL, phy_ctrl)
+        if self.hw.wait_autoneg_complete:
+            self.wait_autoneg()
+        self.hw.get_link_status = 1
+
+    def phy_setup_autoneg(self):
+        adv = self.read_phy_reg(PHY_AUTONEG_ADV)
+        self.write_phy_reg(PHY_AUTONEG_ADV, adv | 0x01E0)
+        self.write_phy_reg(PHY_1000T_CTRL, 0x0300)
+
+    def phy_force_speed_duplex(self):
+        phy_ctrl = self.read_phy_reg(PHY_CTRL)
+        self.write_phy_reg(PHY_CTRL, phy_ctrl & ~MII_CR_AUTO_NEG_EN)
+
+    def wait_autoneg(self):
+        for _i in range(45):
+            if self.read_phy_reg(PHY_STATUS) & MII_SR_AUTONEG_COMPLETE:
+                return
+            self.rt.msleep(10)
+
+    def config_mac_to_phy(self):
+        ctrl = self.read_reg(CTRL)
+        ctrl |= E1000_CTRL_FRCSPD | E1000_CTRL_FRCDPX
+        if self.read_phy_reg(M88E1000_PHY_SPEC_STATUS) & 0x2000:
+            ctrl |= E1000_CTRL_FD
+        self.write_reg(CTRL, ctrl | E1000_CTRL_SPD_1000)
+
+    def config_fc_after_link_up(self):
+        self.force_mac_fc()
+
+    def force_mac_fc(self):
+        ctrl = self.read_reg(CTRL)
+        fc = self.hw.fc
+        if fc == E1000_FC_NONE:
+            ctrl &= ~(E1000_CTRL_RFCE | E1000_CTRL_TFCE)
+        elif fc == E1000_FC_RX_PAUSE:
+            ctrl = (ctrl & ~E1000_CTRL_TFCE) | E1000_CTRL_RFCE
+        elif fc == E1000_FC_TX_PAUSE:
+            ctrl = (ctrl & ~E1000_CTRL_RFCE) | E1000_CTRL_TFCE
+        elif fc == E1000_FC_FULL:
+            ctrl |= E1000_CTRL_RFCE | E1000_CTRL_TFCE
+        else:
+            raise ConfigException("bad flow-control mode %d" % fc)
+        self.write_reg(CTRL, ctrl)
+
+    def check_for_link(self):
+        self.read_phy_reg(PHY_STATUS)  # latched-low: read twice
+        phy_status = self.read_phy_reg(PHY_STATUS)
+        if phy_status & MII_SR_LINK_STATUS:
+            self.hw.get_link_status = 0
+            self.config_dsp_after_link_change(True)
+        else:
+            self.hw.get_link_status = 1
+            self.config_dsp_after_link_change(False)
+
+    def get_speed_and_duplex(self):
+        status = self.read_reg(STATUS)
+        return 1000, 1 if status & E1000_STATUS_FD else 0
+
+    def config_dsp_after_link_change(self, link_up):
+        """Figure 5, decaf side: no ret_val plumbing left."""
+        if self.hw.phy_type != E1000_PHY_IGP:
+            return
+        if link_up:
+            speed, _duplex = self.get_speed_and_duplex()
+            if speed != 1000:
+                return
+            if self.hw.dsp_config_state == E1000_FFE_CONFIG_ENABLED:
+                phy_data = self.read_phy_reg(0x0019)
+                self.write_phy_reg(0x0019, phy_data | 0x0008)
+                self.hw.dsp_config_state = E1000_FFE_CONFIG_ACTIVE
+        else:
+            if self.hw.ffe_config_state == E1000_FFE_CONFIG_ACTIVE:
+                phy_saved_data = self.read_phy_reg(0x2F5B)
+                self.write_phy_reg(0x2F5B, 0x0003)
+                self.rt.msleep(20)
+                self.write_phy_reg(0x0000, IGP01E1000_IEEE_FORCE_GIGA)
+                self.write_phy_reg(0x2F5B, phy_saved_data)
+                self.hw.ffe_config_state = E1000_FFE_CONFIG_ENABLED
+
+    # -- PHY diagnostics (cable length, polarity, downshift, smartspeed) -----------------
+
+    def get_cable_length(self):
+        """Returns (min_m, max_m); raises on an unknown length code."""
+        if self.hw.phy_type == E1000_PHY_M88:
+            phy_data = self.read_phy_reg(M88E1000_PHY_SPEC_STATUS)
+            index = (phy_data
+                     >> hw_defs.M88E1000_PSSR_CABLE_LENGTH_SHIFT) & 0x7
+            if index >= len(hw_defs.M88_CABLE_LENGTH):
+                raise PhyException("bad cable length code %d" % index)
+            return hw_defs.M88_CABLE_LENGTH[index]
+        agc = self.read_phy_reg(hw_defs.IGP_AGC_REG)
+        length = (agc & 0x7F) * 5
+        return max(0, length - 10), length + 10
+
+    def check_polarity(self):
+        if self.hw.phy_type == E1000_PHY_M88:
+            phy_data = self.read_phy_reg(M88E1000_PHY_SPEC_STATUS)
+            return bool(phy_data & hw_defs.M88E1000_PSSR_REV_POLARITY)
+        phy_data = self.read_phy_reg(PHY_STATUS)
+        return bool(phy_data & hw_defs.IGP01E1000_PSSR_POLARITY_REVERSED)
+
+    def check_downshift(self):
+        if self.hw.phy_type == E1000_PHY_M88:
+            phy_data = self.read_phy_reg(M88E1000_PHY_SPEC_STATUS)
+            return bool(phy_data & hw_defs.M88E1000_PSSR_DOWNSHIFT)
+        return False
+
+    def validate_mdi_setting(self):
+        if not self.hw.autoneg and self.hw.mdix:
+            raise ConfigException("forced MDI requires autonegotiation")
+
+    def smartspeed(self):
+        """The SmartSpeed cycle, exception-style: every PHY failure
+        propagates (the original dropped the restart-autoneg write)."""
+        if self.hw.phy_type != E1000_PHY_IGP or not self.hw.autoneg:
+            return
+        if self.hw.smart_speed == 0:
+            if not self.check_downshift():
+                return
+            phy_data = self.read_phy_reg(PHY_1000T_CTRL)
+            self.write_phy_reg(PHY_1000T_CTRL, phy_data & ~0x0300)
+            phy_ctrl = self.read_phy_reg(PHY_CTRL)
+            self.write_phy_reg(
+                PHY_CTRL,
+                phy_ctrl | MII_CR_AUTO_NEG_EN | MII_CR_RESTART_AUTO_NEG)
+            self.hw.smart_speed = 1
+            return
+        self.hw.smart_speed += 1
+        if self.hw.smart_speed > hw_defs.SMART_SPEED_MAX:
+            phy_data = self.read_phy_reg(PHY_1000T_CTRL)
+            self.write_phy_reg(PHY_1000T_CTRL, phy_data | 0x0300)
+            self.hw.smart_speed = 0
+
+    # -- phy info -----------------------------------------------------------------------
+
+    def phy_get_info(self):
+        info = hw_defs.e1000_phy_info()
+        if self.hw.phy_type == E1000_PHY_IGP:
+            data = self.read_phy_reg(IGP01E1000_PHY_PORT_CONFIG)
+            info.mdix_mode = (data >> 5) & 1
+            status = self.read_phy_reg(PHY_1000T_STATUS)
+            info.local_rx = (status >> 13) & 1
+            info.remote_rx = (status >> 12) & 1
+        else:
+            data = self.read_phy_reg(M88E1000_PHY_SPEC_CTRL)
+            info.extended_10bt_distance = (data >> 7) & 1
+            info.polarity_correction = (data >> 1) & 1
+            info.cable_polarity = 1 if self.check_polarity() else 0
+            info.downshift = 1 if self.check_downshift() else 0
+            info.cable_length = self.get_cable_length()[0]
+        self.hw.phy_info = info
+
+    # -- LEDs ---------------------------------------------------------------------------
+
+    def setup_led(self):
+        self.hw.ledctl_default = self.read_reg(LEDCTL)
+        # Error now propagates (was ignored in the original).
+        self.write_phy_reg(0x0018, 0x0021)
+        self.write_reg(LEDCTL, self.hw.ledctl_mode1)
+
+    def cleanup_led(self):
+        self.write_phy_reg(0x0018, 0x0020)
+        self.write_reg(LEDCTL, self.hw.ledctl_default)
+
+    def led_on(self):
+        self.write_reg(LEDCTL, self.hw.ledctl_mode2)
+
+    def led_off(self):
+        self.write_reg(LEDCTL, self.hw.ledctl_mode1)
+
+    # -- misc --------------------------------------------------------------------------
+
+    def get_bus_info(self):
+        self.hw.bus_speed = 3
+        self.hw.bus_width = 2

@@ -1,0 +1,105 @@
+"""E1000 driver library: user-level C helpers (paper section 2.2).
+
+The driver library is the C staging ground at user level.  For E1000
+the paper ended with *no* driver-specific functions here ("our current
+implementation has no driver functionality implemented in the driver
+library") -- everything was converted to Java -- but during migration
+the library hosts functions in their original C form.
+
+We keep the ring-programming helpers here permanently as an explicit
+demonstration of the staging role: they manipulate raw DMA descriptor
+memory through kernel handles, something inexpressible in the managed
+language (and thus a legitimate library resident under the paper's own
+rules for helper code).
+"""
+
+import struct as _pystruct
+
+from ..legacy import e1000_hw as hw_defs
+from ..legacy.e1000_main import (
+    E1000_RX_DESC_SIZE,
+    E1000_RXBUFFER_2048,
+    E1000_TX_DESC_SIZE,
+)
+
+
+class E1000DriverLibrary:
+    """User-level C half of the split: raw-memory helpers."""
+
+    def __init__(self, kernel, channel):
+        self.kernel = kernel
+        self.channel = channel
+        self.calls = 0
+
+    def _region(self, handle):
+        region = self.channel.object_of(handle)
+        if region is None or isinstance(region, int):
+            return None
+        return region
+
+    def _writel(self, hw_addr, reg, value):
+        self.kernel.io.writel(value, hw_addr + reg)
+
+    # -- ring programming (raw descriptor memory) ---------------------------------
+
+    def configure_tx(self, adapter):
+        """Program the transmit ring registers from user-level C."""
+        self.calls += 1
+        tx_ring = adapter.tx_ring
+        desc = self._region(tx_ring.desc)
+        if desc is None:
+            return -22  # -EINVAL
+        hw_addr = adapter.hw.hw_addr
+        self._writel(hw_addr, hw_defs.TDBAL, desc.dma_addr & 0xFFFFFFFF)
+        self._writel(hw_addr, hw_defs.TDBAH, desc.dma_addr >> 32)
+        self._writel(hw_addr, hw_defs.TDLEN,
+                     tx_ring.count * E1000_TX_DESC_SIZE)
+        self._writel(hw_addr, hw_defs.TDH, 0)
+        self._writel(hw_addr, hw_defs.TDT, 0)
+        self._writel(hw_addr, hw_defs.TIPG, 0x00602008)
+        self._writel(hw_addr, hw_defs.TCTL,
+                     hw_defs.E1000_TCTL_EN | hw_defs.E1000_TCTL_PSP)
+        tx_ring.next_to_use = 0
+        tx_ring.next_to_clean = 0
+        return 0
+
+    def setup_rctl(self, adapter):
+        self.calls += 1
+        self._writel(adapter.hw.hw_addr, hw_defs.RCTL,
+                     hw_defs.E1000_RCTL_EN | hw_defs.E1000_RCTL_BAM)
+        return 0
+
+    def configure_rx(self, adapter):
+        self.calls += 1
+        rx_ring = adapter.rx_ring
+        desc = self._region(rx_ring.desc)
+        if desc is None:
+            return -22
+        hw_addr = adapter.hw.hw_addr
+        self._writel(hw_addr, hw_defs.RDBAL, desc.dma_addr & 0xFFFFFFFF)
+        self._writel(hw_addr, hw_defs.RDBAH, desc.dma_addr >> 32)
+        self._writel(hw_addr, hw_defs.RDLEN,
+                     rx_ring.count * E1000_RX_DESC_SIZE)
+        self._writel(hw_addr, hw_defs.RDH, 0)
+        self._writel(hw_addr, hw_defs.RDT, 0)
+        rx_ring.next_to_use = 0
+        rx_ring.next_to_clean = 0
+        return 0
+
+    def alloc_rx_buffers(self, adapter):
+        """Point every rx descriptor at its buffer slot (raw memory)."""
+        self.calls += 1
+        rx_ring = adapter.rx_ring
+        desc = self._region(rx_ring.desc)
+        bufs = self._region(rx_ring.buffer_region)
+        if desc is None or bufs is None:
+            return -22
+        for i in range(rx_ring.count):
+            _pystruct.pack_into(
+                "<QHHBBH", desc.data, i * E1000_RX_DESC_SIZE,
+                bufs.dma_addr + i * E1000_RXBUFFER_2048, 0, 0, 0, 0, 0,
+            )
+        rx_ring.next_to_use = rx_ring.count - 1
+        self._writel(adapter.hw.hw_addr, hw_defs.RDT, rx_ring.count - 1)
+        rx_ring.rdt = rx_ring.count - 1
+        return 0

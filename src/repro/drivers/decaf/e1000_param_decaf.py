@@ -1,0 +1,112 @@
+"""E1000 module-parameter checking, decaf version (case study 5.1).
+
+The legacy ``e1000_param.c`` validates every parameter through one
+C switch over option types.  The paper rewrote this as three classes --
+"a base class provides basic parameter checking, and the two derived
+classes provide additional functionality" -- and used Java hash tables
+for the set-membership tests.  This module is that design: the type
+system now *forces* a range or a set to be supplied where one is
+required, and invalid values raise :class:`ConfigException` (callers
+fall back to the default explicitly).
+"""
+
+from .exceptions import ConfigException
+
+
+class Option:
+    """Base parameter checker: presence and the enable/disable case."""
+
+    def __init__(self, name, default, err="parameter ignored"):
+        self.name = name
+        self.default = default
+        self.err = err
+
+    def validate(self, value):
+        """Return the validated value; raise ConfigException if bad."""
+        if value is None:
+            return self.default
+        if value in (0, 1):
+            return value
+        raise ConfigException(
+            "Invalid %s specified (%r), %s" % (self.name, value, self.err)
+        )
+
+    def validate_or_default(self, value):
+        try:
+            return self.validate(value)
+        except ConfigException:
+            return self.default
+
+
+class RangeOption(Option):
+    """Derived checker: value must lie in [lo, hi]."""
+
+    def __init__(self, name, default, lo, hi, err="using default"):
+        super().__init__(name, default, err)
+        self.lo = lo
+        self.hi = hi
+
+    def validate(self, value):
+        if value is None:
+            return self.default
+        if self.lo <= value <= self.hi:
+            return value
+        raise ConfigException(
+            "Invalid %s specified (%r), %s of %r"
+            % (self.name, value, self.err, self.default)
+        )
+
+
+class ListOption(Option):
+    """Derived checker: set membership, via a hash set (the paper's
+    'Java hash tables in the set-membership tests')."""
+
+    def __init__(self, name, default, valid, err="using default"):
+        super().__init__(name, default, err)
+        self.valid = frozenset(valid)
+
+    def validate(self, value):
+        if value is None:
+            return self.default
+        if value in self.valid:
+            return value
+        raise ConfigException(
+            "Invalid %s specified (%r), %s of %r"
+            % (self.name, value, self.err, self.default)
+        )
+
+
+TX_DESCRIPTORS = RangeOption("Transmit Descriptors", 256, 80, 4096)
+RX_DESCRIPTORS = RangeOption("Receive Descriptors", 256, 80, 4096)
+FLOW_CONTROL = ListOption("Flow Control", 0xFF, (0, 1, 2, 3, 0xFF))
+ITR = RangeOption("Interrupt Throttling Rate (ints/sec)", 8000, 100, 100000)
+SPEED = ListOption("Speed", 0, (0, 10, 100, 1000))
+DUPLEX = ListOption("Duplex", 0, (0, 1, 2))
+AUTONEG = Option("AutoNeg", 1)
+
+
+def check_options(adapter, options=None):
+    """Validate all module parameters onto the adapter twin."""
+    options = options or {}
+
+    adapter.tx_ring.count = TX_DESCRIPTORS.validate_or_default(
+        options.get("TxDescriptors")
+    ) & ~7
+    adapter.rx_ring.count = RX_DESCRIPTORS.validate_or_default(
+        options.get("RxDescriptors")
+    ) & ~7
+    fc = FLOW_CONTROL.validate_or_default(options.get("FlowControl"))
+    adapter.hw.fc = fc
+    adapter.hw.original_fc = fc
+    adapter.itr = ITR.validate_or_default(options.get("InterruptThrottleRate"))
+
+    speed = SPEED.validate_or_default(options.get("Speed"))
+    duplex = DUPLEX.validate_or_default(options.get("Duplex"))
+    autoneg = AUTONEG.validate_or_default(options.get("AutoNeg"))
+    if speed and autoneg:
+        autoneg = 1  # AutoNeg wins, as in the original
+    adapter.hw.autoneg = autoneg
+    adapter.hw.forced_speed_duplex = {
+        (10, 1): 0, (10, 2): 1, (100, 1): 2, (100, 2): 3,
+    }.get((speed, duplex), 0)
+    adapter.hw.autoneg_advertised = 0x2F

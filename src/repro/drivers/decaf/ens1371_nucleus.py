@@ -1,0 +1,259 @@
+"""ens1371 driver nucleus.
+
+Keeps the interrupt handler and the ``pointer`` op (called from
+``snd_pcm_period_elapsed`` in irq context) in the kernel; every other
+PCM op -- open, close, hw_params, prepare, trigger -- transfers to the
+decaf driver.
+
+This split is only legal on a kernel whose sound library calls driver
+ops under a **mutex**: with the stock spinlock library, the prepare/
+trigger upcalls would sleep in atomic context.  The nucleus checks at
+init and refuses to load otherwise, making the paper's kernel
+modification (section 3.1.3) an explicit, testable requirement.
+"""
+
+from ..legacy import ens1371 as legacy
+from ..legacy.ens1371 import (
+    DRV_NAME,
+    ENSONIQ_VENDOR_ID,
+    ES1371_DEVICE_ID,
+    ensoniq,
+)
+from ..linuxapi import LinuxApi
+from ..modulebase import DecafDriverModule
+from .ens1371_decaf import Ens1371DecafDriver
+from .plumbing import DecafPlumbing
+
+
+class Ens1371Nucleus:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.linux = LinuxApi(kernel)
+        legacy.linux = self.linux
+        legacy._state.__init__()  # fresh driver-global state per load
+        self.plumbing = None
+        self.decaf = None
+        self.pdev = None
+        self.card = None
+        self.pci_glue = _PciGlue(self)
+
+    def init(self):
+        if not self.kernel.sound.use_mutex:
+            # Stock sound library holds a spinlock around driver ops; a
+            # decaf sound driver cannot run on it (section 3.1.3).
+            self.kernel.printk(
+                "ens1371-decaf: sound library uses spinlocks; "
+                "decaf driver requires the mutex-based library"
+            )
+            return -self.linux.EINVAL
+        bound = self.kernel.pci.register_driver(self.pci_glue)
+        if bound == 0:
+            self.kernel.pci.unregister_driver(self.pci_glue)
+            return -self.linux.ENODEV
+        return 0
+
+    def cleanup(self):
+        self.kernel.pci.unregister_driver(self.pci_glue)
+
+    # -- probe -----------------------------------------------------------------
+
+    def probe(self, pdev):
+        self.pdev = pdev
+        self.plumbing = DecafPlumbing(self.kernel, "ens1371",
+                                      irq_line=pdev.irq)
+        self.decaf = Ens1371DecafDriver(self.plumbing.decaf_rt, self)
+        self.plumbing.decaf_rt.start()
+
+        chip = ensoniq()
+        chip.card_name = "Ensoniq AudioPCI ES1371 (decaf)"
+        legacy._state.ensoniq = chip
+        legacy._state.lock = self.linux.spin_lock_init("ens1371")
+        self.plumbing.channel.kernel_tracker.register(chip)
+
+        ret = self.plumbing.upcall(
+            self.decaf.probe, args=[(chip, ensoniq)]
+        )
+        if ret:
+            legacy._state.ensoniq = None
+        return ret
+
+    def remove(self, pdev):
+        if self.decaf is None:
+            return
+        self.plumbing.upcall(
+            self.decaf.remove, args=[(legacy._state.ensoniq, ensoniq)]
+        )
+        self.decaf = None
+
+    # -- PCM op stubs (kernel -> decaf; legal under the mutex library) -------------
+
+    def _chip_args(self):
+        return [(legacy._state.ensoniq, ensoniq)]
+
+    def stub_open(self, substream):
+        substream.private_data = legacy._state.ensoniq
+        return self.plumbing.upcall(self.decaf.playback_open,
+                                    args=self._chip_args())
+
+    def stub_close(self, substream):
+        ret = self.plumbing.upcall(self.decaf.playback_close,
+                                   args=self._chip_args())
+        substream.private_data = None
+        return ret
+
+    def stub_hw_params(self, substream):
+        rt = substream.runtime
+        ret = self.plumbing.upcall(
+            self.decaf.playback_hw_params,
+            args=self._chip_args(),
+            extra=(rt.buffer_bytes, rt.period_bytes, rt.frame_bytes(),
+                   rt.rate),
+        )
+        if ret == 0:
+            rt.dma_region = legacy._state.dac2_dma
+        return ret
+
+    def stub_prepare(self, substream):
+        rt = substream.runtime
+        return self.plumbing.upcall(
+            self.decaf.playback_prepare,
+            args=self._chip_args(),
+            extra=(rt.sample_bytes, rt.channels, rt.period_bytes,
+                   rt.frame_bytes()),
+        )
+
+    def stub_trigger(self, substream, cmd):
+        return self.plumbing.upcall(
+            self.decaf.playback_trigger, args=self._chip_args(),
+            extra=(cmd,),
+        )
+
+    # pointer stays in the kernel: irq context (see legacy driver).
+    def op_pointer(self, substream):
+        return legacy.snd_ens1371_playback_pointer(substream)
+
+    # -- kernel entry points ----------------------------------------------------------
+
+    def k_pci_setup(self, chip):
+        err = self.linux.pci_enable_device(self.pdev)
+        if err:
+            return err
+        err = self.linux.pci_request_regions(self.pdev, DRV_NAME)
+        if err:
+            self.linux.pci_disable_device(self.pdev)
+            return err
+        chip.port = self.linux.pci_resource_start(self.pdev, 0)
+        chip.irq = self.pdev.irq
+        return 0
+
+    def k_pci_teardown(self):
+        self.linux.pci_release_regions(self.pdev)
+        self.linux.pci_disable_device(self.pdev)
+        return 0
+
+    def k_request_irq(self, chip):
+        return self.linux.request_irq(
+            chip.irq, legacy.snd_ens1371_interrupt, DRV_NAME,
+            legacy._state.ensoniq,
+        )
+
+    def k_free_irq(self, chip):
+        self.linux.free_irq(chip.irq, legacy._state.ensoniq)
+        return 0
+
+    def k_ctl_add(self, name):
+        if self.card is None:
+            return -self.linux.EINVAL
+        return self.linux.snd_ctl_add(self.card, name)
+
+    def k_new_card(self):
+        card = self.linux.snd_card_new("AudioPCI-decaf")
+        pcm = card.new_pcm("ES1371/1")
+        pcm.playback.ops = _PcmOpsStub(self)
+        legacy._state.card = card
+        legacy._state.pcm = pcm
+        legacy._state.substream = pcm.playback
+        self.card = card
+        return 0
+
+    def k_card_register(self):
+        return self.linux.snd_card_register(self.card)
+
+    def k_register_card(self):
+        card = self.linux.snd_card_new("AudioPCI-decaf")
+        pcm = card.new_pcm("ES1371/1")
+        pcm.playback.ops = _PcmOpsStub(self)
+        legacy._state.card = card
+        legacy._state.pcm = pcm
+        legacy._state.substream = pcm.playback
+        self.card = card
+        return self.linux.snd_card_register(card)
+
+    def k_free_card(self):
+        if self.card is not None:
+            self.linux.snd_card_free(self.card)
+            self.card = None
+            legacy._state.card = None
+        return 0
+
+    def k_alloc_dac2_buffer(self, nbytes):
+        if legacy._state.dac2_dma is not None:
+            self.linux.dma_free_coherent(legacy._state.dac2_dma)
+        legacy._state.dac2_dma = self.linux.dma_alloc_coherent(
+            nbytes, owner=DRV_NAME
+        )
+        if legacy._state.dac2_dma is None:
+            return -self.linux.ENOMEM
+        return legacy._state.dac2_dma.dma_addr
+
+    def k_free_dac2_buffer(self):
+        if legacy._state.dac2_dma is not None:
+            self.linux.dma_free_coherent(legacy._state.dac2_dma)
+            legacy._state.dac2_dma = None
+        return 0
+
+
+class _PcmOpsStub:
+    """Ops table whose entries are the nucleus's XPC stubs."""
+
+    def __init__(self, nucleus):
+        self._n = nucleus
+
+    def open(self, substream):
+        return self._n.stub_open(substream)
+
+    def close(self, substream):
+        return self._n.stub_close(substream)
+
+    def hw_params(self, substream):
+        return self._n.stub_hw_params(substream)
+
+    def prepare(self, substream):
+        return self._n.stub_prepare(substream)
+
+    def trigger(self, substream, cmd):
+        return self._n.stub_trigger(substream, cmd)
+
+    def pointer(self, substream):
+        return self._n.op_pointer(substream)
+
+
+class _PciGlue:
+    name = DRV_NAME
+    id_table = ((ENSONIQ_VENDOR_ID, ES1371_DEVICE_ID),)
+
+    def __init__(self, nucleus):
+        self.nucleus = nucleus
+
+    def probe(self, kernel, pdev):
+        return self.nucleus.probe(pdev)
+
+    def remove(self, kernel, pdev):
+        self.nucleus.remove(pdev)
+
+    def matches(self, func):
+        return (func.vendor_id, func.device_id) in self.id_table
+
+
+def make_module():
+    return DecafDriverModule(DRV_NAME, Ens1371Nucleus)

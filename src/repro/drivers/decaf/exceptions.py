@@ -1,0 +1,77 @@
+"""Checked exceptions for decaf drivers (paper section 5.1).
+
+The legacy drivers signal errors with integer codes that callers can --
+and in 28 documented places in the real E1000, did -- silently drop.
+The decaf drivers replace them with this hierarchy; the conversion
+helpers at the bottom bridge the two conventions at the XPC boundary,
+where RPC semantics require scalar returns.
+"""
+
+
+class DriverException(Exception):
+    """Base for all decaf driver exceptions; carries an errno."""
+
+    errno = 5  # EIO default
+
+    def __init__(self, message="", errno=None):
+        super().__init__(message)
+        if errno is not None:
+            self.errno = abs(int(errno))
+
+
+class HardwareException(DriverException):
+    """Device did not respond / failed a handshake."""
+
+
+class E1000HWException(HardwareException):
+    """E1000 chip-layer failure (PHY, EEPROM, MAC)."""
+
+
+class EepromException(E1000HWException):
+    errno = 5
+
+
+class PhyException(E1000HWException):
+    errno = 5
+
+
+class ConfigException(DriverException):
+    errno = 22  # EINVAL
+
+
+class ResourceException(DriverException):
+    """Allocation failure."""
+
+    errno = 12  # ENOMEM
+
+
+class TimeoutException(HardwareException):
+    errno = 110  # ETIMEDOUT
+
+
+class UsbException(HardwareException):
+    """USB transfer or port failure."""
+
+
+class ProtocolException(HardwareException):
+    """Input-device protocol negotiation failure."""
+
+    errno = 19  # ENODEV
+
+
+def errno_of(exc):
+    """Errno for an exception crossing back into the kernel."""
+    if isinstance(exc, DriverException):
+        return -exc.errno
+    return -5  # -EIO
+
+
+def check(ret, exc_type=DriverException, message=""):
+    """Bridge a legacy integer return into an exception.
+
+    Raises when ``ret`` is a nonzero error code; used while functions
+    are being converted one at a time (section 5.3's transition mode).
+    """
+    if ret:
+        raise exc_type(message or ("error code %d" % ret), errno=ret)
+    return ret

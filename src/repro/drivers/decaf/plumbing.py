@@ -1,0 +1,106 @@
+"""XPC plumbing shared by all decaf drivers.
+
+One :class:`DecafPlumbing` per driver wires together the pieces of the
+Decaf architecture: the domain manager, the XPC channel (with the
+marshaling plan DriverSlicer produced for this driver), the nuclear
+runtime (kernel side), and the decaf runtime (user side).
+
+``slice_plan`` runs the real DriverSlicer pipeline at module load to
+obtain the driver's marshaling plan -- the decaf drivers run on
+generated metadata, not hand-maintained field lists.
+"""
+
+from ...core.domains import DomainManager
+from ...core.runtime import DecafRuntime, NuclearRuntime
+from ...core.xpc import Xpc, XpcChannel
+from ..decaf.exceptions import DriverException, errno_of
+
+_PLAN_CACHE = {}
+
+# Decaf-driver classes analyzed per driver (the paper's future-work
+# extension: fields only the managed code touches are detected
+# automatically instead of via DECAF_XVAR annotations).
+_DECAF_CLASSES = {
+    "8139too": ("repro.drivers.decaf.rtl8139_decaf", ("Rtl8139DecafDriver",)),
+    "e1000": ("repro.drivers.decaf.e1000_decaf", ("E1000DecafDriver",)),
+    "ens1371": ("repro.drivers.decaf.ens1371_decaf", ("Ens1371DecafDriver",)),
+    "uhci_hcd": ("repro.drivers.decaf.uhci_decaf", ("UhciDecafDriver",)),
+    "psmouse": ("repro.drivers.decaf.psmouse_decaf", ("PsmouseDecafDriver",)),
+}
+
+
+def slice_plan(driver_name):
+    """MarshalPlan for a driver, from the DriverSlicer pipeline.
+
+    Unions the legacy-source field-access analysis with the automatic
+    decaf-source analysis, so the plan covers fields either half of
+    the split touches.
+    """
+    if driver_name not in _PLAN_CACHE:
+        import importlib
+
+        from ...slicer import DRIVER_CONFIGS, conversion_report
+        from ...slicer.accessanalysis import build_marshal_plan
+        from ...slicer.decafanalysis import (
+            analyze_decaf_accesses,
+            merge_accesses,
+        )
+
+        config = DRIVER_CONFIGS[driver_name]
+        report = conversion_report(config)
+        legacy_accesses = {
+            name: access
+            for name, access in report["marshal_plan"]._accesses.items()
+        }
+        module_name, class_names = _DECAF_CLASSES[driver_name]
+        module = importlib.import_module(module_name)
+        classes = [getattr(module, name) for name in class_names]
+        decaf_accesses = analyze_decaf_accesses(classes, config.type_hints)
+        merged = merge_accesses(legacy_accesses, decaf_accesses)
+        plan = build_marshal_plan(merged, config.extra_access)
+        _PLAN_CACHE[driver_name] = plan
+    return _PLAN_CACHE[driver_name]
+
+
+class DecafPlumbing:
+    def __init__(self, kernel, driver_name, irq_line=None,
+                 weak_shared_objects=True, plan=None):
+        self.kernel = kernel
+        self.driver_name = driver_name
+        self.domains = DomainManager()
+        self.xpc = Xpc(kernel)
+        self.channel = XpcChannel(
+            self.xpc,
+            self.domains,
+            plan if plan is not None else slice_plan(driver_name),
+            name=driver_name,
+            weak_shared_objects=weak_shared_objects,
+        )
+        self.nuclear = NuclearRuntime(kernel, self.domains, self.channel,
+                                      irq_line=irq_line)
+        self.decaf_rt = DecafRuntime(kernel, self.domains, self.channel)
+
+    def upcall(self, func, args=(), extra=None):
+        """Kernel -> decaf call with exception-to-errno bridging.
+
+        RPC semantics only pass scalars back; a DriverException raised
+        by the decaf driver crosses the boundary as its negative errno,
+        exactly how the paper's generated stubs report failures to the
+        kernel.
+        """
+        try:
+            ret = self.nuclear.upcall(func, args, extra)
+        except DriverException as exc:
+            return errno_of(exc)
+        return 0 if ret is None else ret
+
+    def downcall_checked(self, func, args=(), extra=None, exc_type=None):
+        """Decaf -> kernel call that raises on a negative errno return."""
+        ret = self.channel.downcall(func, args, extra)
+        if isinstance(ret, int) and ret < 0:
+            raise (exc_type or DriverException)(
+                "%s failed with errno %d" % (getattr(func, "__name__", func),
+                                             ret),
+                errno=ret,
+            )
+        return ret

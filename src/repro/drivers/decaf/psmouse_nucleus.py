@@ -1,0 +1,109 @@
+"""psmouse driver nucleus.
+
+The interrupt-side byte decoder and the PS/2 command engine stay in
+the kernel (the command engine's responses arrive through the
+interrupt handler); detection and initialization -- most of psmouse's
+code -- run in the decaf driver, issuing commands through the
+``k_ps2_command`` kernel entry point.
+"""
+
+from ..legacy import psmouse as legacy
+from ..legacy.psmouse import DRV_NAME, psmouse_struct
+from ..linuxapi import LinuxApi
+from ..modulebase import DecafDriverModule
+from .plumbing import DecafPlumbing
+from .psmouse_decaf import PsmouseDecafDriver
+
+
+class PsmouseNucleus:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.linux = LinuxApi(kernel)
+        legacy.linux = self.linux
+        legacy._state.__init__()  # fresh driver-global state per load
+        self.plumbing = None
+        self.decaf = None
+        self.serio = None
+
+    # -- module lifecycle ------------------------------------------------------
+
+    def init(self):
+        ports = self.kernel.input.serio_ports
+        if not ports:
+            return -self.linux.ENODEV
+        self.serio = ports[0]
+        self.plumbing = DecafPlumbing(self.kernel, "psmouse")
+        self.decaf = PsmouseDecafDriver(self.plumbing.decaf_rt, self)
+        self.plumbing.decaf_rt.start()
+
+        psmouse = psmouse_struct()
+        psmouse.state = legacy.PSMOUSE_STATE_INITIALIZING
+        legacy._state.psmouse = psmouse
+        legacy._state.serio = self.serio
+        legacy._state.packet = []
+        self.plumbing.channel.kernel_tracker.register(psmouse)
+
+        err = self.serio.open(legacy.psmouse_interrupt)
+        if err:
+            legacy._state.psmouse = None
+            return err
+
+        ret = self.plumbing.upcall(
+            self.decaf.connect, args=[(psmouse, psmouse_struct)]
+        )
+        if ret:
+            self.serio.close()
+            legacy._state.psmouse = None
+        return ret
+
+    def cleanup(self):
+        if self.decaf is not None and legacy._state.psmouse is not None:
+            self.plumbing.upcall(
+                self.decaf.disconnect,
+                args=[(legacy._state.psmouse, psmouse_struct)],
+            )
+        if self.serio is not None:
+            self.serio.close()
+        legacy._state.psmouse = None
+        legacy._state.input_dev = None
+
+    # -- kernel entry points ------------------------------------------------------
+
+    def k_ps2_command(self, command, params_out, params_in):
+        """Run one PS/2 command through the kernel command engine.
+
+        The response bytes arrive via the interrupt handler, which is
+        why the engine cannot move to user level.
+        Returns (errno, responses).
+        """
+        return legacy.ps2_command(command, params_out, tuple(params_in))
+
+    def k_register_input_device(self, psmouse):
+        input_dev = self.linux.input_allocate_device(psmouse.name)
+        input_dev.set_capability(legacy.EV_KEY, legacy.BTN_LEFT)
+        input_dev.set_capability(legacy.EV_KEY, legacy.BTN_RIGHT)
+        input_dev.set_capability(legacy.EV_KEY, legacy.BTN_MIDDLE)
+        input_dev.set_capability(legacy.EV_REL, legacy.REL_X)
+        input_dev.set_capability(legacy.EV_REL, legacy.REL_Y)
+        if psmouse.pktsize == 4:
+            input_dev.set_capability(legacy.EV_REL, legacy.REL_WHEEL)
+        err = self.linux.input_register_device(input_dev)
+        if err:
+            return err
+        legacy._state.input_dev = input_dev
+        return 0
+
+    def k_unregister_input_device(self):
+        if legacy._state.input_dev is not None:
+            self.linux.input_unregister_device(legacy._state.input_dev)
+            legacy._state.input_dev = None
+        return 0
+
+    def k_set_state(self, psmouse, state):
+        legacy._state.psmouse.state = state
+        psmouse.state = state
+        return 0
+
+
+def make_module():
+    return DecafDriverModule(DRV_NAME, PsmouseNucleus)

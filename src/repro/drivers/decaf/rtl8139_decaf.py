@@ -1,0 +1,156 @@
+"""8139too decaf driver: the user-level half, in managed style.
+
+The functions DriverSlicer moved out of the kernel, rewritten the way
+the paper's case study rewrites E1000 code: a class instead of free
+functions, checked exceptions instead of integer error codes, and
+cleanup expressed with nested handlers (Figure 4) instead of goto
+chains.  Hardware is touched only through the decaf runtime's helper
+routines; kernel-only operations go through downcalls to the nucleus's
+kernel entry points.
+"""
+
+from .exceptions import (
+    ConfigException,
+    DriverException,
+    HardwareException,
+    ResourceException,
+)
+
+# Register constants are part of the driver headers, shared by both
+# halves of the split (the paper's split keeps definitions in both
+# source trees).
+from ..legacy.rtl8139 import (
+    BMSR,
+    CONFIG1,
+    IDR0,
+    MSR,
+    MSR_LINKB,
+)
+
+
+class Rtl8139DecafDriver:
+    """User-level 8139too logic."""
+
+    def __init__(self, rt, nucleus):
+        self.rt = rt          # decaf runtime (helpers: port I/O, sleep)
+        self.nucleus = nucleus
+        self.plumbing = None  # set after construction by the nucleus
+        self.have_thread = False
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _down(self, func, args=(), extra=None, exc=DriverException):
+        """Downcall into the nucleus, raising on errno."""
+        return self.nucleus.plumbing.downcall_checked(
+            func, args=args, extra=extra, exc_type=exc
+        )
+
+    # -- probe: converted from rtl8139_init_one ---------------------------------
+
+    def init_one(self, tp):
+        """Bring up the board.  Raises on failure (Fig. 4 style)."""
+        from ..legacy.rtl8139 import rtl8139_private
+
+        tp.msg_enable = 7
+        tp.tx_flag = 0
+
+        self._down(self.nucleus.k_init_board,
+                   args=[(tp, rtl8139_private)], exc=HardwareException)
+        try:
+            self._down(self.nucleus.k_read_mac,
+                       args=[(tp, rtl8139_private)], exc=HardwareException)
+            try:
+                self._down(self.nucleus.k_register_netdev,
+                           args=[(tp, rtl8139_private)],
+                           exc=ResourceException)
+            except DriverException:
+                raise
+        except DriverException:
+            self._down(self.nucleus.k_unregister_netdev)
+            raise
+        return 0
+
+    def remove_one(self):
+        self._down(self.nucleus.k_unregister_netdev)
+        return 0
+
+    # -- open/close: converted from rtl8139_open / rtl8139_close ------------------
+
+    def open(self, tp):
+        from ..legacy.rtl8139 import rtl8139_private
+
+        self._down(self.nucleus.k_request_irq,
+                   args=[(tp, rtl8139_private)], exc=ResourceException)
+        try:
+            self._down(self.nucleus.k_alloc_rings, exc=ResourceException)
+            try:
+                tp.tx_flag = 0
+                tp.cur_rx = 0
+                tp.cur_tx = 0
+                tp.dirty_tx = 0
+                self._down(self.nucleus.k_hw_start,
+                           args=[(tp, rtl8139_private)],
+                           exc=HardwareException)
+                self.start_thread(tp)
+            except DriverException:
+                self._down(self.nucleus.k_free_rings)
+                raise
+        except DriverException:
+            self._down(self.nucleus.k_free_irq,
+                       args=[(tp, rtl8139_private)])
+            raise
+        return 0
+
+    def close(self, tp):
+        from ..legacy.rtl8139 import rtl8139_private
+
+        self._down(self.nucleus.k_netif_stop)
+        self.stop_thread(tp)
+        self._down(self.nucleus.k_free_irq, args=[(tp, rtl8139_private)])
+        tp.cur_tx = 0
+        tp.dirty_tx = 0
+        self._down(self.nucleus.k_free_rings)
+        return 0
+
+    # -- management: converted user-level functions ---------------------------------
+
+    def set_mac_address(self, tp, addr):
+        if len(addr) != 6:
+            raise ConfigException("MAC address must be 6 bytes")
+        for i, byte in enumerate(addr):
+            self.rt.outb(byte, tp.ioaddr + IDR0 + i)
+        tp.mac_addr = list(addr)
+        return 0
+
+    def get_media_status(self, tp):
+        """Read link state directly from user level (mapped I/O)."""
+        msr = self.rt.inb(tp.ioaddr + MSR)
+        return 0 if msr & MSR_LINKB else 1
+
+    def get_basic_mode_status(self, tp):
+        return self.rt.inw(tp.ioaddr + BMSR)
+
+    def read_config1(self, tp):
+        return self.rt.inb(tp.ioaddr + CONFIG1)
+
+    # -- the link-watch thread body (runs at user level via deferred work) -----------
+
+    def thread(self, tp):
+        """Converted rtl8139_thread: media check every two seconds."""
+        from ..legacy.rtl8139 import rtl8139_private
+
+        if not self.have_thread:
+            return 0
+        self._down(self.nucleus.k_check_media,
+                   args=[(tp, rtl8139_private)])
+        return 0
+
+    def start_thread(self, tp):
+        self.have_thread = True
+        tp.have_thread = 1
+        self.nucleus.start_link_watch()
+
+    def stop_thread(self, tp):
+        self.have_thread = False
+        tp.have_thread = 0
+        self.nucleus.stop_link_watch()

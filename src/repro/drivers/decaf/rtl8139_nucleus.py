@@ -1,0 +1,230 @@
+"""8139too driver nucleus.
+
+The kernel-resident half of the decaf 8139too driver.  The
+performance-critical functions -- interrupt handler, transmit, receive
+-- are the *same code* as the legacy driver (DriverSlicer leaves them
+in place); this module adds what the slicer generates around them:
+
+* XPC entry stubs for the driver-interface operations that moved to the
+  decaf driver (open, close, rx_mode, stats, ...);
+* kernel entry points the decaf driver calls back into (chip reset,
+  ring allocation, irq setup);
+* deferral of the link-watch timer to a work item so its body may run
+  at user level (section 3.1.3).
+"""
+
+from ..legacy import rtl8139 as legacy
+from ..legacy.rtl8139 import (
+    DRV_NAME,
+    RTL8139_DEVICE_ID,
+    RTL8139_VENDOR_ID,
+    rtl8139_private,
+    rtl8139_stats,
+)
+from ..modulebase import DecafDriverModule
+from ..linuxapi import LinuxApi
+from .plumbing import DecafPlumbing
+from .rtl8139_decaf import Rtl8139DecafDriver
+
+
+class Rtl8139Nucleus:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.linux = LinuxApi(kernel)
+        legacy.linux = self.linux
+        legacy._state.__init__()  # fresh driver-global state per load
+        self.plumbing = None  # created on probe (needs the irq line)
+        self.decaf = None
+        self.pdev = None
+        self.link_work_timer = None
+        self.pci_glue = _PciGlue(self)
+
+    # -- module lifecycle ------------------------------------------------------
+
+    def init(self):
+        bound = self.kernel.pci.register_driver(self.pci_glue)
+        if bound == 0:
+            self.kernel.pci.unregister_driver(self.pci_glue)
+            return -self.linux.ENODEV
+        return 0
+
+    def cleanup(self):
+        self.kernel.pci.unregister_driver(self.pci_glue)
+
+    # -- probe path: kernel stub -> decaf driver ---------------------------------
+
+    def probe(self, pdev):
+        self.pdev = pdev
+        self.plumbing = DecafPlumbing(self.kernel, "8139too",
+                                      irq_line=pdev.irq)
+        self.decaf = Rtl8139DecafDriver(self.plumbing.decaf_rt, self)
+        self.plumbing.decaf_rt.start()
+
+        tp = rtl8139_private()
+        tp.msg_enable = 7
+        tp.stats = rtl8139_stats()
+        legacy._state.tp = tp
+        self.plumbing.channel.kernel_tracker.register(tp)
+        self.plumbing.channel.kernel_tracker.register(tp.stats)
+
+        ret = self.plumbing.upcall(
+            self.decaf.init_one,
+            args=[(tp, rtl8139_private)],
+        )
+        if ret:
+            legacy._state.tp = None
+        return ret
+
+    def remove(self, pdev):
+        if self.decaf is None:
+            return
+        self.plumbing.upcall(self.decaf.remove_one)
+        self.decaf = None
+
+    # -- netdev ops: stubs that transfer to user level -----------------------------
+
+    def stub_open(self, dev):
+        return self.plumbing.upcall(
+            self.decaf.open, args=[(legacy._state.tp, rtl8139_private)]
+        )
+
+    def stub_close(self, dev):
+        return self.plumbing.upcall(
+            self.decaf.close, args=[(legacy._state.tp, rtl8139_private)]
+        )
+
+    def stub_get_stats(self, dev):
+        # Cheap accessor: served from the kernel copy, as the real
+        # driver nucleus does for hot paths.
+        return dev.stats
+
+    def stub_set_rx_mode(self, dev):
+        # rx_mode programming is reachable from the data path too
+        # (rtl8139_hw_start); the kernel implementation is reused.
+        return legacy.rtl8139_set_rx_mode(dev)
+
+    def stub_set_mac_address(self, dev, addr):
+        return self.plumbing.upcall(
+            self.decaf.set_mac_address,
+            args=[(legacy._state.tp, rtl8139_private)],
+            extra=(list(addr),),
+        )
+
+    def stub_tx_timeout(self, dev):
+        # Must run at high priority; stays kernel.
+        return legacy.rtl8139_tx_timeout(dev)
+
+    # -- deferred link watch: timer -> work item -> decaf driver ---------------------
+
+    def start_link_watch(self):
+        self.link_work_timer = self.plumbing.nuclear.defer_timer(
+            self._link_watch_work, name="8139too-thread"
+        )
+        self.link_work_timer.mod_timer_after(2_000_000_000)
+
+    def stop_link_watch(self):
+        if self.link_work_timer is not None:
+            self.link_work_timer.del_timer()
+            self.link_work_timer = None
+
+    def _link_watch_work(self, _data):
+        if self.decaf is None or legacy._state.tp is None:
+            return
+        self.plumbing.upcall(
+            self.decaf.thread, args=[(legacy._state.tp, rtl8139_private)]
+        )
+        if self.link_work_timer is not None:
+            self.link_work_timer.mod_timer_after(2_000_000_000)
+
+    # -- kernel entry points (downcalls from the decaf driver) -----------------------
+
+    def k_init_board(self, tp):
+        return legacy.rtl8139_init_board(self.pdev, tp)
+
+    def k_read_mac(self, tp):
+        return legacy.read_mac_address(tp)
+
+    def k_chip_reset(self, tp):
+        return legacy.rtl8139_chip_reset(tp)
+
+    def k_register_netdev(self, tp):
+        dev = self.linux.alloc_etherdev("eth%d")
+        dev.dev_addr = bytes(tp.mac_addr)
+        dev.priv = tp
+        dev.open = self.stub_open
+        dev.stop = self.stub_close
+        dev.hard_start_xmit = legacy.rtl8139_start_xmit
+        dev.get_stats = self.stub_get_stats
+        dev.set_multicast_list = self.stub_set_rx_mode
+        dev.set_mac_address = self.stub_set_mac_address
+        dev.tx_timeout = self.stub_tx_timeout
+        dev.irq = tp.irq
+        dev.base_addr = tp.ioaddr
+        legacy._state.netdev = dev
+        legacy._state.lock = self.linux.spin_lock_init("rtl8139")
+        return self.linux.register_netdev(dev)
+
+    def k_unregister_netdev(self):
+        if legacy._state.netdev is not None:
+            self.linux.unregister_netdev(legacy._state.netdev)
+            legacy._state.netdev = None
+        self.linux.pci_release_regions(self.pdev)
+        self.linux.pci_disable_device(self.pdev)
+        return 0
+
+    def k_request_irq(self, tp):
+        return self.linux.request_irq(
+            tp.irq, legacy.rtl8139_interrupt, DRV_NAME, legacy._state.netdev
+        )
+
+    def k_free_irq(self, tp):
+        self.linux.free_irq(tp.irq, legacy._state.netdev)
+        return 0
+
+    def k_alloc_rings(self):
+        legacy._state.rx_ring_dma = self.linux.dma_alloc_coherent(
+            legacy.RX_BUF_LEN + 16, owner=DRV_NAME
+        )
+        legacy._state.tx_bufs_dma = self.linux.dma_alloc_coherent(
+            legacy.TX_BUF_SIZE * legacy.NUM_TX_DESC, owner=DRV_NAME
+        )
+        if legacy._state.rx_ring_dma is None or legacy._state.tx_bufs_dma is None:
+            legacy.rtl8139_free_rings()
+            return -self.linux.ENOMEM
+        return 0
+
+    def k_free_rings(self):
+        legacy.rtl8139_free_rings()
+        return 0
+
+    def k_hw_start(self, tp):
+        return legacy.rtl8139_hw_start(legacy._state.netdev)
+
+    def k_netif_stop(self):
+        dev = legacy._state.netdev
+        self.linux.netif_stop_queue(dev)
+        return 0
+
+    def k_check_media(self, tp):
+        return 1 if legacy.rtl8139_check_media(legacy._state.netdev, tp) else 0
+
+
+class _PciGlue:
+    name = DRV_NAME
+    id_table = ((RTL8139_VENDOR_ID, RTL8139_DEVICE_ID),)
+
+    def __init__(self, nucleus):
+        self.nucleus = nucleus
+
+    def probe(self, kernel, pdev):
+        return self.nucleus.probe(pdev)
+
+    def remove(self, kernel, pdev):
+        self.nucleus.remove(pdev)
+
+    def matches(self, func):
+        return (func.vendor_id, func.device_id) in self.id_table
+
+
+def make_module():
+    return DecafDriverModule(DRV_NAME, Rtl8139Nucleus)

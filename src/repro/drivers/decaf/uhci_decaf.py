@@ -1,0 +1,60 @@
+"""uhci-hcd decaf driver: the thin user-level half.
+
+Only initialization orchestration and power management moved out of
+the kernel for uhci-hcd (the paper converted 3 functions, 4% -- the
+data path can reach nearly everything else).  The decaf half
+sequences controller bring-up through kernel entry points, with
+exception-based unwind.
+"""
+
+from ..legacy.uhci_hcd import uhci_hcd_state
+from .exceptions import DriverException, HardwareException, ResourceException
+
+
+class UhciDecafDriver:
+    def __init__(self, rt, nucleus):
+        self.rt = rt
+        self.nucleus = nucleus
+
+    def _down(self, func, uhci=None, extra=None, exc=DriverException):
+        args = [(uhci, uhci_hcd_state)] if uhci is not None else []
+        return self.nucleus.plumbing.downcall_checked(
+            func, args=args, extra=extra, exc_type=exc
+        )
+
+    def probe(self, uhci):
+        """Converted uhci_pci_probe: bring-up with nested unwind."""
+        self._down(self.nucleus.k_pci_setup, uhci, exc=ResourceException)
+        try:
+            self._down(self.nucleus.k_reset_hc, uhci,
+                       exc=HardwareException)
+            self._down(self.nucleus.k_request_irq, uhci,
+                       exc=ResourceException)
+            try:
+                self._down(self.nucleus.k_start, uhci,
+                           exc=HardwareException)
+            except DriverException:
+                self._down(self.nucleus.k_free_irq, uhci)
+                raise
+        except DriverException:
+            self._down(self.nucleus.k_pci_teardown)
+            raise
+        return 0
+
+    def remove(self, uhci):
+        self._down(self.nucleus.k_stop, uhci)
+        self._down(self.nucleus.k_free_irq, uhci)
+        self._down(self.nucleus.k_pci_teardown)
+        return 0
+
+    def suspend(self, uhci):
+        """Converted suspend path: halt the schedule."""
+        self._down(self.nucleus.k_stop, uhci)
+        uhci.is_stopped = 1
+        return 0
+
+    def resume(self, uhci):
+        self._down(self.nucleus.k_reset_hc, uhci, exc=HardwareException)
+        self._down(self.nucleus.k_start, uhci, exc=HardwareException)
+        uhci.is_stopped = 0
+        return 0

@@ -1,0 +1,147 @@
+"""uhci-hcd driver nucleus.
+
+The UHCI host-controller driver is almost entirely data path: URB
+enqueue/dequeue, schedule scanning from the interrupt handler, and
+port management reached from the irq path.  All of it stays in the
+kernel, reusing the legacy functions -- matching the paper's finding
+that only 4% of uhci-hcd's functions could move to Java.
+
+What *does* move is the probe/suspend orchestration, implemented in
+:class:`~repro.drivers.decaf.uhci_decaf.UhciDecafDriver`.
+"""
+
+from ..legacy import uhci_hcd as legacy
+from ..legacy.uhci_hcd import (
+    DRV_NAME,
+    UHCI_DEVICE_ID,
+    UHCI_VENDOR_ID,
+    UhciHcdOps,
+    uhci_hcd_state,
+)
+from ..linuxapi import LinuxApi
+from ..modulebase import DecafDriverModule
+from .plumbing import DecafPlumbing
+from .uhci_decaf import UhciDecafDriver
+
+
+class UhciNucleus:
+    def __init__(self, kernel, device_model_hook=None):
+        self.kernel = kernel
+        self.linux = LinuxApi(kernel)
+        legacy.linux = self.linux
+        legacy._state.__init__()  # fresh driver-global state per load
+        legacy._state.device_model_hook = device_model_hook
+        self.plumbing = None
+        self.decaf = None
+        self.pdev = None
+        self.pci_glue = _PciGlue(self)
+
+    def init(self):
+        bound = self.kernel.pci.register_driver(self.pci_glue)
+        if bound == 0:
+            self.kernel.pci.unregister_driver(self.pci_glue)
+            return -self.linux.ENODEV
+        return 0
+
+    def cleanup(self):
+        self.kernel.pci.unregister_driver(self.pci_glue)
+
+    def probe(self, pdev):
+        self.pdev = pdev
+        self.plumbing = DecafPlumbing(self.kernel, "uhci_hcd",
+                                      irq_line=pdev.irq)
+        self.decaf = UhciDecafDriver(self.plumbing.decaf_rt, self)
+        self.plumbing.decaf_rt.start()
+
+        uhci = uhci_hcd_state()
+        uhci.rh_numports = legacy.UHCI_NUM_PORTS
+        legacy._state.uhci = uhci
+        legacy._state.pdev = pdev
+        legacy._state.lock = self.linux.spin_lock_init("uhci")
+        self.plumbing.channel.kernel_tracker.register(uhci)
+
+        ret = self.plumbing.upcall(
+            self.decaf.probe, args=[(uhci, uhci_hcd_state)]
+        )
+        if ret:
+            legacy._state.uhci = None
+        return ret
+
+    def remove(self, pdev):
+        if self.decaf is None:
+            return
+        self.plumbing.upcall(
+            self.decaf.remove, args=[(legacy._state.uhci, uhci_hcd_state)]
+        )
+        self.decaf = None
+
+    # -- kernel entry points ------------------------------------------------------
+
+    def k_pci_setup(self, uhci):
+        err = self.linux.pci_enable_device(self.pdev)
+        if err:
+            return err
+        err = self.linux.pci_request_regions(self.pdev, DRV_NAME)
+        if err:
+            self.linux.pci_disable_device(self.pdev)
+            return err
+        uhci.io_addr = self.linux.pci_resource_start(self.pdev, 0)
+        uhci.irq = self.pdev.irq
+        return 0
+
+    def k_pci_teardown(self):
+        self.linux.pci_release_regions(self.pdev)
+        self.linux.pci_disable_device(self.pdev)
+        return 0
+
+    def k_reset_hc(self, uhci):
+        return legacy.uhci_reset_hc(uhci)
+
+    def k_request_irq(self, uhci):
+        return self.linux.request_irq(uhci.irq, legacy.uhci_irq,
+                                      DRV_NAME, legacy._state.uhci)
+
+    def k_free_irq(self, uhci):
+        self.linux.free_irq(uhci.irq, legacy._state.uhci)
+        return 0
+
+    def k_start(self, uhci):
+        # Starts the schedule and registers the HCD with the USB core;
+        # kernel-resident because the schedule is the data path.
+        err = legacy.uhci_start(legacy._state.uhci)
+        if err:
+            return err
+        self.linux.usb_register_hcd(UhciHcdOps())
+        legacy.uhci_scan_ports(legacy._state.uhci)
+        return 0
+
+    def k_stop(self, uhci):
+        for device in list(legacy._state.port_devices):
+            self.linux.usb_disconnect_device(device)
+        legacy._state.port_devices = []
+        legacy.uhci_stop(legacy._state.uhci)
+        return 0
+
+
+class _PciGlue:
+    name = DRV_NAME
+    id_table = ((UHCI_VENDOR_ID, UHCI_DEVICE_ID),)
+
+    def __init__(self, nucleus):
+        self.nucleus = nucleus
+
+    def probe(self, kernel, pdev):
+        return self.nucleus.probe(pdev)
+
+    def remove(self, kernel, pdev):
+        self.nucleus.remove(pdev)
+
+    def matches(self, func):
+        return (func.vendor_id, func.device_id) in self.id_table
+
+
+def make_module(device_model_hook=None):
+    def setup(kernel):
+        return UhciNucleus(kernel, device_model_hook=device_model_hook)
+
+    return DecafDriverModule(DRV_NAME, setup)

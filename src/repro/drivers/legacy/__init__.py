@@ -1,0 +1,8 @@
+"""Legacy drivers: the C-idiomatic inputs to DriverSlicer.
+
+Each module mirrors the structure of its Linux 2.6.18 counterpart:
+module-level functions with the original names, integer errno returns,
+manual cleanup chains, and DriverSlicer marshaling annotations on the
+shared data structures.  ``linux`` is a module global bound at insmod
+time -- the "included kernel headers".
+"""

@@ -1,0 +1,1043 @@
+"""e1000_hw: the E1000 chip layer (legacy, C-idiomatic).
+
+Mirrors drivers/net/e1000/e1000_hw.c from Linux 2.6.18: every routine
+returns 0 or a positive E1000 error code, and callers propagate with the
+``ret_val = ...; if ret_val: return ret_val`` chains the paper's Figure 5
+shows.  Deliberately preserved from the original are the places where a
+return code is *ignored* -- the case-study analysis
+(:mod:`repro.analysis.errorhandling`) finds these, as the authors found
+28 such cases in the real driver.
+
+The hardware is reached exclusively through ``E1000_READ_REG`` /
+``E1000_WRITE_REG`` on the adapter's MMIO window.
+"""
+
+from ...core.cstruct import (
+    Array,
+    CStruct,
+    Exp,
+    Opaque,
+    Ptr,
+    Str,
+    U8,
+    U16,
+    U32,
+    I32,
+)
+
+linux = None  # bound at insmod
+
+# -- error codes (e1000_hw.h) -------------------------------------------------
+
+E1000_SUCCESS = 0
+E1000_ERR_EEPROM = 1
+E1000_ERR_PHY = 2
+E1000_ERR_CONFIG = 3
+E1000_ERR_PARAM = 4
+E1000_ERR_MAC_TYPE = 5
+E1000_ERR_PHY_TYPE = 6
+E1000_ERR_RESET = 9
+E1000_ERR_MASTER_REQUESTS_PENDING = 10
+E1000_ERR_HOST_INTERFACE_COMMAND = 11
+E1000_BLK_PHY_RESET = 12
+
+# -- MAC types ------------------------------------------------------------------
+
+E1000_82542 = 1
+E1000_82543 = 2
+E1000_82544 = 3
+E1000_82540 = 4
+E1000_82545 = 5
+E1000_82546 = 6
+E1000_82541 = 7
+E1000_82547 = 8
+E1000_UNDEFINED = 0
+
+# -- PHY types ---------------------------------------------------------------------
+
+E1000_PHY_M88 = 1
+E1000_PHY_IGP = 2
+E1000_PHY_UNDEFINED = 0
+
+# -- register offsets (subset; must match the device model) -------------------------
+
+CTRL = 0x00000
+STATUS = 0x00008
+EECD = 0x00010
+EERD = 0x00014
+CTRL_EXT = 0x00018
+MDIC = 0x00020
+FCAL = 0x00028
+FCAH = 0x0002C
+FCT = 0x00030
+VET = 0x00038
+ICR = 0x000C0
+ITR = 0x000C4
+ICS = 0x000C8
+IMS = 0x000D0
+IMC = 0x000D8
+RCTL = 0x00100
+FCTTV = 0x00170
+TCTL = 0x00400
+TIPG = 0x00410
+LEDCTL = 0x00E00
+PBA = 0x01000
+RDBAL = 0x02800
+RDBAH = 0x02804
+RDLEN = 0x02808
+RDH = 0x02810
+RDT = 0x02818
+RDTR = 0x02820
+TDBAL = 0x03800
+TDBAH = 0x03804
+TDLEN = 0x03808
+TDH = 0x03810
+TDT = 0x03818
+TIDV = 0x03820
+RAL0 = 0x05400
+RAH0 = 0x05404
+MTA = 0x05200
+VFTA = 0x05600
+CRCERRS = 0x04000
+
+# CTRL bits.
+E1000_CTRL_FD = 0x00000001
+E1000_CTRL_ASDE = 0x00000020
+E1000_CTRL_SLU = 0x00000040
+E1000_CTRL_SPD_1000 = 0x00000200
+E1000_CTRL_FRCSPD = 0x00000800
+E1000_CTRL_FRCDPX = 0x00001000
+E1000_CTRL_RST = 0x04000000
+E1000_CTRL_RFCE = 0x08000000
+E1000_CTRL_TFCE = 0x10000000
+E1000_CTRL_PHY_RST = 0x80000000
+
+# STATUS bits.
+E1000_STATUS_FD = 0x00000001
+E1000_STATUS_LU = 0x00000002
+
+# EERD bits.
+E1000_EERD_START = 0x00000001
+E1000_EERD_DONE = 0x00000010
+
+# MDIC bits.
+E1000_MDIC_OP_WRITE = 0x04000000
+E1000_MDIC_OP_READ = 0x08000000
+E1000_MDIC_READY = 0x10000000
+E1000_MDIC_ERROR = 0x40000000
+
+# Interrupt bits.
+E1000_ICR_TXDW = 0x00000001
+E1000_ICR_LSC = 0x00000004
+E1000_ICR_RXDMT0 = 0x00000010
+E1000_ICR_RXO = 0x00000040
+E1000_ICR_RXT0 = 0x00000080
+E1000_IMS_ENABLE_MASK = (
+    E1000_ICR_TXDW | E1000_ICR_LSC | E1000_ICR_RXDMT0 | E1000_ICR_RXT0
+)
+
+# RCTL/TCTL bits.
+E1000_RCTL_EN = 0x00000002
+E1000_RCTL_BAM = 0x00008000
+E1000_TCTL_EN = 0x00000002
+E1000_TCTL_PSP = 0x00000008
+
+# RAH valid bit.
+E1000_RAH_AV = 0x80000000
+
+# PHY registers.
+PHY_CTRL = 0x00
+PHY_STATUS = 0x01
+PHY_ID1 = 0x02
+PHY_ID2 = 0x03
+PHY_AUTONEG_ADV = 0x04
+PHY_LP_ABILITY = 0x05
+PHY_1000T_CTRL = 0x09
+PHY_1000T_STATUS = 0x0A
+M88E1000_PHY_SPEC_CTRL = 0x10
+M88E1000_PHY_SPEC_STATUS = 0x11
+IGP01E1000_PHY_PORT_CONFIG = 0x10
+
+MII_CR_RESET = 0x8000
+MII_CR_AUTO_NEG_EN = 0x1000
+MII_CR_RESTART_AUTO_NEG = 0x0200
+MII_SR_LINK_STATUS = 0x0004
+MII_SR_AUTONEG_COMPLETE = 0x0020
+
+M88E1000_E_PHY_ID = 0x01410C50
+IGP01E1000_E_PHY_ID = 0x02A80380
+PHY_REVISION_MASK = 0xFFFFFFF0
+
+IGP01E1000_IEEE_FORCE_GIGA = 0x0140
+IGP01E1000_IEEE_RESTART_AUTONEG = 0x3300
+
+# ffe config states (for config_dsp_after_link_change).
+E1000_FFE_CONFIG_ENABLED = 0
+E1000_FFE_CONFIG_ACTIVE = 1
+E1000_FFE_CONFIG_BLOCKED = 2
+
+# EEPROM layout.
+EEPROM_CHECKSUM_REG = 0x3F
+EEPROM_SUM = 0xBABA
+EEPROM_INIT_CONTROL2_REG = 0x000F
+
+# Flow control.
+E1000_FC_NONE = 0
+E1000_FC_RX_PAUSE = 1
+E1000_FC_TX_PAUSE = 2
+E1000_FC_FULL = 3
+E1000_FC_DEFAULT = 0xFF
+
+NODE_ADDRESS_SIZE = 6
+
+# Device IDs -> mac types (slice of the real table; id ranges matter only
+# for mac_type selection).
+DEVICE_ID_TO_MAC_TYPE = {
+    0x1000: E1000_82542,
+    0x1001: E1000_82543,
+    0x1004: E1000_82543,
+    0x1008: E1000_82544,
+    0x1009: E1000_82544,
+    0x100C: E1000_82544,
+    0x100D: E1000_82544,
+    0x100E: E1000_82540,
+    0x100F: E1000_82545,
+    0x1010: E1000_82546,
+    0x1011: E1000_82545,
+    0x1012: E1000_82546,
+    0x1013: E1000_82541,
+    0x1014: E1000_82541,
+    0x1015: E1000_82540,
+    0x1016: E1000_82540,
+    0x1017: E1000_82540,
+    0x1018: E1000_82541,
+    0x1019: E1000_82547,
+    0x101A: E1000_82547,
+    0x101D: E1000_82546,
+    0x101E: E1000_82540,
+    0x1026: E1000_82545,
+    0x1027: E1000_82545,
+    0x1028: E1000_82545,
+    0x1075: E1000_82547,
+    0x1076: E1000_82541,
+    0x1077: E1000_82541,
+    0x1078: E1000_82541,
+    0x1079: E1000_82546,
+    0x107A: E1000_82546,
+    0x107B: E1000_82546,
+    0x107C: E1000_82541,
+}
+
+
+class e1000_phy_info(CStruct):
+    FIELDS = [
+        ("cable_length", U16),
+        ("extended_10bt_distance", U16),
+        ("cable_polarity", U16),
+        ("downshift", U16),
+        ("polarity_correction", U16),
+        ("mdix_mode", U16),
+        ("local_rx", U16),
+        ("remote_rx", U16),
+    ]
+
+
+class e1000_eeprom_info(CStruct):
+    FIELDS = [
+        ("word_size", U16),
+        ("opcode_bits", U16),
+        ("address_bits", U16),
+        ("delay_usec", U16),
+        ("page_size", U16),
+    ]
+
+
+class e1000_hw(CStruct):
+    """struct e1000_hw: all chip-layer state."""
+
+    FIELDS = [
+        ("hw_addr", U32),
+        ("device_id", U16),
+        ("vendor_id", U16),
+        ("subsystem_id", U16),
+        ("subsystem_vendor_id", U16),
+        ("revision_id", U8),
+        ("mac_type", U8),
+        ("phy_type", U8),
+        ("phy_id", U32),
+        ("phy_revision", U32),
+        ("phy_addr", U32),
+        ("mac_addr", Array(U8, NODE_ADDRESS_SIZE)),
+        ("perm_mac_addr", Array(U8, NODE_ADDRESS_SIZE)),
+        ("fc", U8),
+        ("original_fc", U8),
+        ("fc_high_water", U16),
+        ("fc_low_water", U16),
+        ("fc_pause_time", U16),
+        ("fc_send_xon", U8),
+        ("autoneg", U8),
+        ("autoneg_advertised", U16),
+        ("wait_autoneg_complete", U8),
+        ("forced_speed_duplex", U8),
+        ("max_frame_size", U32),
+        ("min_frame_size", U32),
+        ("media_type", U8),
+        ("bus_speed", U8),
+        ("bus_width", U8),
+        ("get_link_status", U8),
+        ("ffe_config_state", U8),
+        ("dsp_config_state", U8),
+        ("smart_speed", U16),
+        ("mdix", U8),
+        ("ledctl_default", U32),
+        ("ledctl_mode1", U32),
+        ("ledctl_mode2", U32),
+        ("eeprom", Ptr(e1000_eeprom_info)),
+        ("phy_info", Ptr(e1000_phy_info)),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Register access
+# ---------------------------------------------------------------------------
+
+def E1000_READ_REG(hw, reg):
+    return linux.readl(hw.hw_addr + reg)
+
+
+def E1000_WRITE_REG(hw, reg, value):
+    linux.writel(value, hw.hw_addr + reg)
+
+
+def E1000_WRITE_FLUSH(hw):
+    E1000_READ_REG(hw, STATUS)
+
+
+def E1000_READ_REG_ARRAY(hw, reg, index):
+    return linux.readl(hw.hw_addr + reg + (index << 2))
+
+
+def E1000_WRITE_REG_ARRAY(hw, reg, index, value):
+    linux.writel(value, hw.hw_addr + reg + (index << 2))
+
+
+# ---------------------------------------------------------------------------
+# MAC type and setup
+# ---------------------------------------------------------------------------
+
+def e1000_set_mac_type(hw):
+    """Classify the device id into a MAC generation."""
+    mac_type = DEVICE_ID_TO_MAC_TYPE.get(hw.device_id)
+    if mac_type is None:
+        return -E1000_ERR_MAC_TYPE
+    hw.mac_type = mac_type
+    return E1000_SUCCESS
+
+
+def e1000_set_media_type(hw):
+    hw.media_type = 1  # copper for all our modeled parts
+    return E1000_SUCCESS
+
+
+def e1000_reset_hw(hw):
+    """Global reset: masks interrupts, resets the MAC, reloads EEPROM."""
+    E1000_WRITE_REG(hw, IMC, 0xFFFFFFFF)
+    E1000_WRITE_REG(hw, RCTL, 0)
+    E1000_WRITE_REG(hw, TCTL, E1000_TCTL_PSP)
+    E1000_WRITE_FLUSH(hw)
+    linux.msleep(10)
+    ctrl = E1000_READ_REG(hw, CTRL)
+    E1000_WRITE_REG(hw, CTRL, ctrl | E1000_CTRL_RST)
+    linux.msleep(5)
+    E1000_WRITE_REG(hw, IMC, 0xFFFFFFFF)
+    icr = E1000_READ_REG(hw, ICR)  # noqa: F841 -- clears pending causes
+    return E1000_SUCCESS
+
+
+def e1000_init_hw(hw):
+    """Post-reset initialization: MAC address, multicast table, link."""
+    ret_val = e1000_id_led_init(hw)
+    if ret_val:
+        return ret_val
+
+    e1000_init_rx_addrs(hw)
+
+    # Zero out the multicast table array.
+    for i in range(128):
+        E1000_WRITE_REG_ARRAY(hw, MTA, i, 0)
+
+    ret_val = e1000_setup_link(hw)
+    if ret_val:
+        return ret_val
+
+    e1000_clear_hw_cntrs(hw)
+    return E1000_SUCCESS
+
+
+def e1000_init_rx_addrs(hw):
+    e1000_rar_set(hw, hw.mac_addr, 0)
+    for i in range(1, 16):
+        E1000_WRITE_REG_ARRAY(hw, RAL0, i << 1, 0)
+        E1000_WRITE_REG_ARRAY(hw, RAL0, (i << 1) + 1, 0)
+
+
+def e1000_rar_set(hw, addr, index):
+    rar_low = addr[0] | (addr[1] << 8) | (addr[2] << 16) | (addr[3] << 24)
+    rar_high = addr[4] | (addr[5] << 8) | E1000_RAH_AV
+    E1000_WRITE_REG_ARRAY(hw, RAL0, index << 1, rar_low)
+    E1000_WRITE_REG_ARRAY(hw, RAL0, (index << 1) + 1, rar_high)
+
+
+def e1000_mta_set(hw, hash_value):
+    hash_reg = (hash_value >> 5) & 0x7F
+    hash_bit = hash_value & 0x1F
+    mta = E1000_READ_REG_ARRAY(hw, MTA, hash_reg)
+    mta |= 1 << hash_bit
+    E1000_WRITE_REG_ARRAY(hw, MTA, hash_reg, mta)
+
+
+def e1000_hash_mc_addr(hw, mc_addr):
+    hash_value = (mc_addr[4] >> 4) | (mc_addr[5] << 4)
+    return hash_value & 0xFFF
+
+
+def e1000_write_vfta(hw, offset, value):
+    E1000_WRITE_REG_ARRAY(hw, VFTA, offset, value)
+
+
+def e1000_clear_vfta(hw):
+    for offset in range(128):
+        E1000_WRITE_REG_ARRAY(hw, VFTA, offset, 0)
+
+
+def e1000_clear_hw_cntrs(hw):
+    for i in range(64):
+        E1000_READ_REG(hw, CRCERRS + (i << 2))
+
+
+def e1000_id_led_init(hw):
+    ret_val, eeprom_data = e1000_read_eeprom(hw, 0x04, 1)
+    if ret_val:
+        return ret_val
+    hw.ledctl_default = E1000_READ_REG(hw, LEDCTL)
+    hw.ledctl_mode1 = hw.ledctl_default
+    hw.ledctl_mode2 = hw.ledctl_default
+    return E1000_SUCCESS
+
+
+# ---------------------------------------------------------------------------
+# EEPROM
+# ---------------------------------------------------------------------------
+
+def e1000_init_eeprom_params(hw):
+    eeprom = e1000_eeprom_info()
+    eeprom.word_size = 64
+    eeprom.opcode_bits = 3
+    eeprom.address_bits = 6
+    eeprom.delay_usec = 50
+    hw.eeprom = eeprom
+    return E1000_SUCCESS
+
+
+def e1000_read_eeprom(hw, offset, words):
+    """Read ``words`` 16-bit words; returns (ret_val, data).
+
+    Uses the EERD register interface with a done-bit poll, as the real
+    driver does on 8254x parts.
+    """
+    if hw.eeprom is None:
+        e1000_init_eeprom_params(hw)
+    if words == 0 or offset + words > hw.eeprom.word_size:
+        return -E1000_ERR_EEPROM, 0
+
+    data = []
+    for i in range(words):
+        E1000_WRITE_REG(hw, EERD, ((offset + i) << 8) | E1000_EERD_START)
+        ret_val = e1000_poll_eerd_done(hw)
+        if ret_val:
+            return ret_val, 0
+        data.append((E1000_READ_REG(hw, EERD) >> 16) & 0xFFFF)
+    if words == 1:
+        return E1000_SUCCESS, data[0]
+    return E1000_SUCCESS, data
+
+
+def e1000_poll_eerd_done(hw):
+    for _attempt in range(100):
+        if E1000_READ_REG(hw, EERD) & E1000_EERD_DONE:
+            return E1000_SUCCESS
+        linux.udelay(5)
+    return -E1000_ERR_EEPROM
+
+
+def e1000_validate_eeprom_checksum(hw):
+    checksum = 0
+    for i in range(EEPROM_CHECKSUM_REG + 1):
+        ret_val, data = e1000_read_eeprom(hw, i, 1)
+        if ret_val:
+            return ret_val
+        checksum = (checksum + data) & 0xFFFF
+    if checksum != EEPROM_SUM:
+        return -E1000_ERR_EEPROM
+    return E1000_SUCCESS
+
+
+def e1000_read_mac_addr(hw):
+    for i in range(0, NODE_ADDRESS_SIZE, 2):
+        ret_val, data = e1000_read_eeprom(hw, i >> 1, 1)
+        if ret_val:
+            return ret_val
+        hw.perm_mac_addr[i] = data & 0xFF
+        hw.perm_mac_addr[i + 1] = (data >> 8) & 0xFF
+    for i in range(NODE_ADDRESS_SIZE):
+        hw.mac_addr[i] = hw.perm_mac_addr[i]
+    return E1000_SUCCESS
+
+
+def e1000_update_eeprom_checksum(hw):
+    checksum = 0
+    for i in range(EEPROM_CHECKSUM_REG):
+        ret_val, data = e1000_read_eeprom(hw, i, 1)
+        if ret_val:
+            return ret_val
+        checksum = (checksum + data) & 0xFFFF
+    checksum = (EEPROM_SUM - checksum) & 0xFFFF
+    # NOTE: the 2.6.18 driver ignores the return value of the final
+    # write here -- one of the broken-error-handling cases.
+    e1000_write_eeprom(hw, EEPROM_CHECKSUM_REG, checksum)
+    return E1000_SUCCESS
+
+
+def e1000_write_eeprom(hw, offset, data):
+    if hw.eeprom is None:
+        e1000_init_eeprom_params(hw)
+    if offset >= hw.eeprom.word_size:
+        return -E1000_ERR_EEPROM
+    # Our modeled parts have a write-protected EEPROM fed from the
+    # device model; pretend the write took.
+    linux.udelay(hw.eeprom.delay_usec)
+    return E1000_SUCCESS
+
+
+# ---------------------------------------------------------------------------
+# PHY access
+# ---------------------------------------------------------------------------
+
+def e1000_read_phy_reg(hw, reg_addr):
+    """Returns (ret_val, data): MDIC read with a ready poll."""
+    E1000_WRITE_REG(hw, MDIC, (reg_addr << 16) | E1000_MDIC_OP_READ)
+    for _attempt in range(64):
+        mdic = E1000_READ_REG(hw, MDIC)
+        if mdic & E1000_MDIC_READY:
+            if mdic & E1000_MDIC_ERROR:
+                return -E1000_ERR_PHY, 0
+            return E1000_SUCCESS, mdic & 0xFFFF
+        linux.udelay(50)
+    return -E1000_ERR_PHY, 0
+
+
+def e1000_write_phy_reg(hw, reg_addr, data):
+    E1000_WRITE_REG(
+        hw, MDIC, (reg_addr << 16) | E1000_MDIC_OP_WRITE | (data & 0xFFFF)
+    )
+    for _attempt in range(64):
+        mdic = E1000_READ_REG(hw, MDIC)
+        if mdic & E1000_MDIC_READY:
+            if mdic & E1000_MDIC_ERROR:
+                return -E1000_ERR_PHY
+            return E1000_SUCCESS
+        linux.udelay(50)
+    return -E1000_ERR_PHY
+
+
+def e1000_phy_hw_reset(hw):
+    ctrl = E1000_READ_REG(hw, CTRL)
+    E1000_WRITE_REG(hw, CTRL, ctrl | E1000_CTRL_PHY_RST)
+    linux.msleep(10)
+    E1000_WRITE_REG(hw, CTRL, ctrl)
+    linux.msleep(10)
+    return E1000_SUCCESS
+
+
+def e1000_phy_reset(hw):
+    ret_val, phy_ctrl = e1000_read_phy_reg(hw, PHY_CTRL)
+    if ret_val:
+        return ret_val
+    ret_val = e1000_write_phy_reg(hw, PHY_CTRL, phy_ctrl | MII_CR_RESET)
+    if ret_val:
+        return ret_val
+    linux.udelay(1)
+    return E1000_SUCCESS
+
+
+def e1000_detect_gig_phy(hw):
+    """Probe the PHY ID registers and classify the PHY."""
+    ret_val, phy_id_high = e1000_read_phy_reg(hw, PHY_ID1)
+    if ret_val:
+        return ret_val
+    linux.udelay(20)
+    ret_val, phy_id_low = e1000_read_phy_reg(hw, PHY_ID2)
+    if ret_val:
+        return ret_val
+    hw.phy_id = ((phy_id_high << 16) | phy_id_low) & 0xFFFFFFFF
+    hw.phy_revision = hw.phy_id & ~PHY_REVISION_MASK
+    masked = hw.phy_id & PHY_REVISION_MASK
+    if masked == (M88E1000_E_PHY_ID & PHY_REVISION_MASK):
+        hw.phy_type = E1000_PHY_M88
+    elif masked == (IGP01E1000_E_PHY_ID & PHY_REVISION_MASK):
+        hw.phy_type = E1000_PHY_IGP
+    else:
+        hw.phy_type = E1000_PHY_UNDEFINED
+        return -E1000_ERR_PHY_TYPE
+    return E1000_SUCCESS
+
+
+def e1000_phy_get_info(hw):
+    info = e1000_phy_info()
+    if hw.phy_type == E1000_PHY_IGP:
+        ret_val = e1000_phy_igp_get_info(hw, info)
+    else:
+        ret_val = e1000_phy_m88_get_info(hw, info)
+    if ret_val:
+        return ret_val
+    hw.phy_info = info
+    return E1000_SUCCESS
+
+
+def e1000_phy_igp_get_info(hw, phy_info):
+    ret_val, data = e1000_read_phy_reg(hw, IGP01E1000_PHY_PORT_CONFIG)
+    if ret_val:
+        return ret_val
+    phy_info.mdix_mode = (data >> 5) & 1
+    ret_val, status = e1000_read_phy_reg(hw, PHY_1000T_STATUS)
+    if ret_val:
+        return ret_val
+    phy_info.local_rx = (status >> 13) & 1
+    phy_info.remote_rx = (status >> 12) & 1
+    return E1000_SUCCESS
+
+
+def e1000_phy_m88_get_info(hw, phy_info):
+    ret_val, data = e1000_read_phy_reg(hw, M88E1000_PHY_SPEC_CTRL)
+    if ret_val:
+        return ret_val
+    phy_info.extended_10bt_distance = (data >> 7) & 1
+    phy_info.polarity_correction = (data >> 1) & 1
+    ret_val, polarity = e1000_check_polarity(hw)
+    if ret_val:
+        return ret_val
+    phy_info.cable_polarity = polarity
+    ret_val, downshift = e1000_check_downshift(hw)
+    if ret_val:
+        return ret_val
+    phy_info.downshift = downshift
+    ret_val, min_len, _max_len = e1000_get_cable_length(hw)
+    if ret_val:
+        return ret_val
+    phy_info.cable_length = min_len
+    return E1000_SUCCESS
+
+
+def e1000_power_up_phy_hw(hw):
+    ret_val, mii_reg = e1000_read_phy_reg(hw, PHY_CTRL)
+    if ret_val:
+        return ret_val
+    mii_reg &= ~0x0800  # clear power-down
+    # 2.6.18 ignores this write's return value (broken error handling).
+    e1000_write_phy_reg(hw, PHY_CTRL, mii_reg)
+    return E1000_SUCCESS
+
+
+def e1000_power_down_phy_hw(hw):
+    ret_val, mii_reg = e1000_read_phy_reg(hw, PHY_CTRL)
+    if ret_val:
+        return ret_val
+    mii_reg |= 0x0800
+    # Return value ignored in the original here too.
+    e1000_write_phy_reg(hw, PHY_CTRL, mii_reg)
+    return E1000_SUCCESS
+
+
+# ---------------------------------------------------------------------------
+# Link setup
+# ---------------------------------------------------------------------------
+
+def e1000_setup_link(hw):
+    """Determine flow control and configure the link (copper path)."""
+    if hw.fc == E1000_FC_DEFAULT:
+        ret_val, eeprom_data = e1000_read_eeprom(hw, EEPROM_INIT_CONTROL2_REG, 1)
+        if ret_val:
+            return -E1000_ERR_EEPROM
+        if eeprom_data & 0x3000:
+            hw.fc = E1000_FC_FULL
+        else:
+            hw.fc = E1000_FC_NONE
+    hw.original_fc = hw.fc
+
+    ret_val = e1000_setup_copper_link(hw)
+    if ret_val:
+        return ret_val
+
+    E1000_WRITE_REG(hw, FCT, 0x8808)
+    E1000_WRITE_REG(hw, FCAH, 0x0100)
+    E1000_WRITE_REG(hw, FCAL, 0x00C28001)
+    E1000_WRITE_REG(hw, FCTTV, hw.fc_pause_time)
+    return E1000_SUCCESS
+
+
+def e1000_setup_copper_link(hw):
+    ctrl = E1000_READ_REG(hw, CTRL)
+    ctrl |= E1000_CTRL_SLU
+    ctrl &= ~(E1000_CTRL_FRCSPD | E1000_CTRL_FRCDPX)
+    E1000_WRITE_REG(hw, CTRL, ctrl)
+
+    ret_val = e1000_detect_gig_phy(hw)
+    if ret_val:
+        return ret_val
+
+    if hw.autoneg:
+        ret_val = e1000_copper_link_autoneg(hw)
+        if ret_val:
+            return ret_val
+    else:
+        ret_val = e1000_phy_force_speed_duplex(hw)
+        if ret_val:
+            return ret_val
+
+    for _i in range(10):
+        ret_val, phy_status = e1000_read_phy_reg(hw, PHY_STATUS)
+        if ret_val:
+            return ret_val
+        if phy_status & MII_SR_LINK_STATUS:
+            ret_val = e1000_config_mac_to_phy(hw)
+            if ret_val:
+                return ret_val
+            ret_val = e1000_config_fc_after_link_up(hw)
+            if ret_val:
+                return ret_val
+            return E1000_SUCCESS
+        linux.msleep(10)
+    return E1000_SUCCESS  # link may come up later; not an error
+
+
+def e1000_copper_link_autoneg(hw):
+    ret_val = e1000_phy_setup_autoneg(hw)
+    if ret_val:
+        return ret_val
+    ret_val, phy_ctrl = e1000_read_phy_reg(hw, PHY_CTRL)
+    if ret_val:
+        return ret_val
+    phy_ctrl |= MII_CR_AUTO_NEG_EN | MII_CR_RESTART_AUTO_NEG
+    ret_val = e1000_write_phy_reg(hw, PHY_CTRL, phy_ctrl)
+    if ret_val:
+        return ret_val
+    if hw.wait_autoneg_complete:
+        ret_val = e1000_wait_autoneg(hw)
+        if ret_val:
+            return ret_val
+    hw.get_link_status = 1
+    return E1000_SUCCESS
+
+
+def e1000_phy_setup_autoneg(hw):
+    ret_val, adv = e1000_read_phy_reg(hw, PHY_AUTONEG_ADV)
+    if ret_val:
+        return ret_val
+    adv |= 0x01E0  # advertise 10/100 full+half
+    ret_val = e1000_write_phy_reg(hw, PHY_AUTONEG_ADV, adv)
+    if ret_val:
+        return ret_val
+    ret_val = e1000_write_phy_reg(hw, PHY_1000T_CTRL, 0x0300)
+    if ret_val:
+        return ret_val
+    return E1000_SUCCESS
+
+
+def e1000_phy_force_speed_duplex(hw):
+    ret_val, phy_ctrl = e1000_read_phy_reg(hw, PHY_CTRL)
+    if ret_val:
+        return ret_val
+    phy_ctrl &= ~MII_CR_AUTO_NEG_EN
+    ret_val = e1000_write_phy_reg(hw, PHY_CTRL, phy_ctrl)
+    if ret_val:
+        return ret_val
+    return E1000_SUCCESS
+
+
+def e1000_wait_autoneg(hw):
+    for _i in range(45):
+        ret_val, phy_status = e1000_read_phy_reg(hw, PHY_STATUS)
+        if ret_val:
+            return ret_val
+        if phy_status & MII_SR_AUTONEG_COMPLETE:
+            return E1000_SUCCESS
+        linux.msleep(10)
+    return E1000_SUCCESS  # original also tolerates incomplete autoneg
+
+
+def e1000_config_mac_to_phy(hw):
+    ctrl = E1000_READ_REG(hw, CTRL)
+    ctrl |= E1000_CTRL_FRCSPD | E1000_CTRL_FRCDPX
+    ret_val, status = e1000_read_phy_reg(hw, M88E1000_PHY_SPEC_STATUS)
+    if ret_val:
+        return ret_val
+    if status & 0x2000:
+        ctrl |= E1000_CTRL_FD
+    E1000_WRITE_REG(hw, CTRL, ctrl | E1000_CTRL_SPD_1000)
+    return E1000_SUCCESS
+
+
+def e1000_config_fc_after_link_up(hw):
+    ret_val = e1000_force_mac_fc(hw)
+    if ret_val:
+        return ret_val
+    return E1000_SUCCESS
+
+
+def e1000_force_mac_fc(hw):
+    ctrl = E1000_READ_REG(hw, CTRL)
+    if hw.fc == E1000_FC_NONE:
+        ctrl &= ~(E1000_CTRL_RFCE | E1000_CTRL_TFCE)
+    elif hw.fc == E1000_FC_RX_PAUSE:
+        ctrl &= ~E1000_CTRL_TFCE
+        ctrl |= E1000_CTRL_RFCE
+    elif hw.fc == E1000_FC_TX_PAUSE:
+        ctrl &= ~E1000_CTRL_RFCE
+        ctrl |= E1000_CTRL_TFCE
+    elif hw.fc == E1000_FC_FULL:
+        ctrl |= E1000_CTRL_RFCE | E1000_CTRL_TFCE
+    else:
+        return -E1000_ERR_CONFIG
+    E1000_WRITE_REG(hw, CTRL, ctrl)
+    return E1000_SUCCESS
+
+
+def e1000_check_for_link(hw):
+    """Poll link state; updates get_link_status."""
+    ret_val, phy_status = e1000_read_phy_reg(hw, PHY_STATUS)
+    if ret_val:
+        return ret_val
+    # Link status is latched-low: read twice.
+    ret_val, phy_status = e1000_read_phy_reg(hw, PHY_STATUS)
+    if ret_val:
+        return ret_val
+    if phy_status & MII_SR_LINK_STATUS:
+        hw.get_link_status = 0
+        # Dsp config sequence on link-up for IGP parts; its internal
+        # errors were historically dropped on the floor here.
+        e1000_config_dsp_after_link_change(hw, 1)
+    else:
+        hw.get_link_status = 1
+        e1000_config_dsp_after_link_change(hw, 0)
+    return E1000_SUCCESS
+
+
+def e1000_get_speed_and_duplex(hw):
+    """Returns (ret_val, speed, duplex)."""
+    status = E1000_READ_REG(hw, STATUS)
+    speed = 1000
+    duplex = 1 if status & E1000_STATUS_FD else 0
+    return E1000_SUCCESS, speed, duplex
+
+
+def e1000_config_dsp_after_link_change(hw, link_up):
+    """The Figure 5 function: IGP DSP tuning around link transitions."""
+    if hw.phy_type != E1000_PHY_IGP:
+        return E1000_SUCCESS
+
+    if link_up:
+        ret_val, speed, duplex = e1000_get_speed_and_duplex(hw)
+        if ret_val:
+            return ret_val
+        if speed != 1000:
+            return E1000_SUCCESS
+        if hw.dsp_config_state == E1000_FFE_CONFIG_ENABLED:
+            # Original writes a sequence of DSP registers, checking each.
+            ret_val, phy_data = e1000_read_phy_reg(hw, 0x0019)
+            if ret_val:
+                return ret_val
+            ret_val = e1000_write_phy_reg(hw, 0x0019, phy_data | 0x0008)
+            if ret_val:
+                return ret_val
+            hw.dsp_config_state = E1000_FFE_CONFIG_ACTIVE
+    else:
+        if hw.ffe_config_state == E1000_FFE_CONFIG_ACTIVE:
+            ret_val, phy_saved_data = e1000_read_phy_reg(hw, 0x2F5B)
+            if ret_val:
+                return ret_val
+            ret_val = e1000_write_phy_reg(hw, 0x2F5B, 0x0003)
+            if ret_val:
+                return ret_val
+            linux.msec_delay_irq(20)
+            ret_val = e1000_write_phy_reg(hw, 0x0000,
+                                          IGP01E1000_IEEE_FORCE_GIGA)
+            if ret_val:
+                return ret_val
+            ret_val = e1000_write_phy_reg(hw, 0x2F5B, phy_saved_data)
+            if ret_val:
+                return ret_val
+            hw.ffe_config_state = E1000_FFE_CONFIG_ENABLED
+    return E1000_SUCCESS
+
+
+# ---------------------------------------------------------------------------
+# PHY diagnostics (cable length, polarity, downshift, smartspeed)
+# ---------------------------------------------------------------------------
+
+# M88 spec-status cable length codes -> (min, max) meters.
+M88_CABLE_LENGTH = ((0, 50), (50, 80), (80, 110), (110, 140), (140, 999))
+IGP_AGC_REG = 0x12
+SMART_SPEED_MAX = 15
+
+M88E1000_PSSR_CABLE_LENGTH_SHIFT = 7
+M88E1000_PSSR_REV_POLARITY = 0x0002
+M88E1000_PSSR_DOWNSHIFT = 0x0020
+IGP01E1000_PSSR_POLARITY_REVERSED = 0x0002
+
+
+def e1000_get_cable_length(hw):
+    """Estimate cable length; returns (ret_val, min_m, max_m)."""
+    if hw.phy_type == E1000_PHY_M88:
+        ret_val, phy_data = e1000_read_phy_reg(hw, M88E1000_PHY_SPEC_STATUS)
+        if ret_val:
+            return ret_val, 0, 0
+        index = (phy_data >> M88E1000_PSSR_CABLE_LENGTH_SHIFT) & 0x7
+        if index >= len(M88_CABLE_LENGTH):
+            return -E1000_ERR_PHY, 0, 0
+        return E1000_SUCCESS, M88_CABLE_LENGTH[index][0], \
+            M88_CABLE_LENGTH[index][1]
+    # IGP parts estimate from the AGC registers.
+    ret_val, agc = e1000_read_phy_reg(hw, IGP_AGC_REG)
+    if ret_val:
+        return ret_val, 0, 0
+    length = (agc & 0x7F) * 5
+    return E1000_SUCCESS, max(0, length - 10), length + 10
+
+
+def e1000_check_polarity(hw):
+    """Cable polarity; returns (ret_val, reversed_bool)."""
+    if hw.phy_type == E1000_PHY_M88:
+        ret_val, phy_data = e1000_read_phy_reg(hw, M88E1000_PHY_SPEC_STATUS)
+        if ret_val:
+            return ret_val, 0
+        return E1000_SUCCESS, 1 if phy_data & M88E1000_PSSR_REV_POLARITY \
+            else 0
+    ret_val, phy_data = e1000_read_phy_reg(hw, PHY_STATUS)
+    if ret_val:
+        return ret_val, 0
+    return E1000_SUCCESS, 1 if phy_data & IGP01E1000_PSSR_POLARITY_REVERSED \
+        else 0
+
+
+def e1000_check_downshift(hw):
+    """Did the PHY downshift from the negotiated speed?  Returns
+    (ret_val, downshifted_bool)."""
+    if hw.phy_type == E1000_PHY_M88:
+        ret_val, phy_data = e1000_read_phy_reg(hw, M88E1000_PHY_SPEC_STATUS)
+        if ret_val:
+            return ret_val, 0
+        return E1000_SUCCESS, 1 if phy_data & M88E1000_PSSR_DOWNSHIFT else 0
+    return E1000_SUCCESS, 0
+
+
+def e1000_validate_mdi_setting(hw):
+    """Forced MDI with autoneg disabled is an invalid combination."""
+    if not hw.autoneg and hw.mdix:
+        return -E1000_ERR_CONFIG
+    return E1000_SUCCESS
+
+
+def e1000_smartspeed(hw):
+    """SmartSpeed workaround: if the link keeps failing to come up at
+    gigabit with a downshift, temporarily stop advertising 1000 Mb/s
+    (then re-enable after SMART_SPEED_MAX cycles)."""
+    if hw.phy_type != E1000_PHY_IGP or not hw.autoneg:
+        return E1000_SUCCESS
+
+    if hw.smart_speed == 0:
+        ret_val, downshift = e1000_check_downshift(hw)
+        if ret_val:
+            return ret_val
+        if not downshift:
+            return E1000_SUCCESS
+        ret_val, phy_data = e1000_read_phy_reg(hw, PHY_1000T_CTRL)
+        if ret_val:
+            return ret_val
+        phy_data &= ~0x0300  # stop advertising gigabit
+        ret_val = e1000_write_phy_reg(hw, PHY_1000T_CTRL, phy_data)
+        if ret_val:
+            return ret_val
+        ret_val, phy_ctrl = e1000_read_phy_reg(hw, PHY_CTRL)
+        if ret_val:
+            return ret_val
+        # Restart autoneg; original drops this write's return too.
+        e1000_write_phy_reg(
+            hw, PHY_CTRL,
+            phy_ctrl | MII_CR_AUTO_NEG_EN | MII_CR_RESTART_AUTO_NEG)
+        hw.smart_speed = 1
+        return E1000_SUCCESS
+
+    hw.smart_speed += 1
+    if hw.smart_speed > SMART_SPEED_MAX:
+        ret_val, phy_data = e1000_read_phy_reg(hw, PHY_1000T_CTRL)
+        if ret_val:
+            return ret_val
+        ret_val = e1000_write_phy_reg(hw, PHY_1000T_CTRL,
+                                      phy_data | 0x0300)
+        if ret_val:
+            return ret_val
+        hw.smart_speed = 0
+    return E1000_SUCCESS
+
+
+# ---------------------------------------------------------------------------
+# LEDs
+# ---------------------------------------------------------------------------
+
+def e1000_setup_led(hw):
+    hw.ledctl_default = E1000_READ_REG(hw, LEDCTL)
+    # Original ignores the PHY write result while configuring the LED.
+    e1000_write_phy_reg(hw, 0x0018, 0x0021)
+    E1000_WRITE_REG(hw, LEDCTL, hw.ledctl_mode1)
+    return E1000_SUCCESS
+
+
+def e1000_cleanup_led(hw):
+    # PHY write result ignored in the original.
+    e1000_write_phy_reg(hw, 0x0018, 0x0020)
+    E1000_WRITE_REG(hw, LEDCTL, hw.ledctl_default)
+    return E1000_SUCCESS
+
+
+def e1000_led_on(hw):
+    E1000_WRITE_REG(hw, LEDCTL, hw.ledctl_mode2)
+    return E1000_SUCCESS
+
+
+def e1000_led_off(hw):
+    E1000_WRITE_REG(hw, LEDCTL, hw.ledctl_mode1)
+    return E1000_SUCCESS
+
+
+# ---------------------------------------------------------------------------
+# Misc info
+# ---------------------------------------------------------------------------
+
+def e1000_get_bus_info(hw):
+    hw.bus_speed = 3  # PCI 66 MHz
+    hw.bus_width = 2  # 32-bit
+    return E1000_SUCCESS
+
+
+def e1000_reset_adaptive(hw):
+    # Adaptive IFS state; our modeled parts keep defaults.
+    return E1000_SUCCESS
+
+
+def e1000_update_adaptive(hw):
+    return E1000_SUCCESS
+
+
+def e1000_tbi_accept(hw, status, errors, length):
+    # TBI workaround applies only to fiber parts; always reject.
+    return 0

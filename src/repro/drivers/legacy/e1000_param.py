@@ -1,0 +1,170 @@
+"""e1000_param: module-parameter validation (legacy, C-idiomatic).
+
+Mirrors drivers/net/e1000/e1000_param.c: each parameter is described by
+an ``e1000_option`` record with a validation *type* (range, list, or
+enable/disable flag) and checked by ``e1000_validate_option`` -- the
+C-style switch the paper's case study rewrites as a small class
+hierarchy (base checker + two derived classes).
+"""
+
+linux = None  # bound at insmod
+
+OPT_UNSET = -1
+
+# Validation types.
+ENABLE_OPTION = 0
+RANGE_OPTION = 1
+LIST_OPTION = 2
+
+E1000_MAX_TXD = 4096
+E1000_MIN_TXD = 80
+E1000_MAX_RXD = 4096
+E1000_MIN_RXD = 80
+
+DEFAULT_ITR = 8000
+MAX_ITR = 100000
+MIN_ITR = 100
+
+AUTONEG_ADV_DEFAULT = 0x2F
+FLOW_CONTROL_DEFAULT = 0xFF
+
+SPEED_LIST = (0, 10, 100, 1000)
+DUPLEX_LIST = (0, 1, 2)
+
+
+class e1000_option:
+    """Mirror of struct e1000_option."""
+
+    def __init__(self, type, name, err, default, rmin=None, rmax=None,
+                 valid_list=None):
+        self.type = type
+        self.name = name
+        self.err = err
+        self.default = default
+        self.min = rmin
+        self.max = rmax
+        self.valid_list = valid_list
+
+
+def e1000_validate_option(value, opt):
+    """Validate one parameter value.  Returns (errno, validated_value)."""
+    if value == OPT_UNSET:
+        return 0, opt.default
+
+    if opt.type == ENABLE_OPTION:
+        if value in (0, 1):
+            return 0, value
+        linux.printk("e1000: Invalid %s specified (%d), %s"
+                     % (opt.name, value, opt.err))
+        return -linux.EINVAL, opt.default
+
+    if opt.type == RANGE_OPTION:
+        if opt.min <= value <= opt.max:
+            return 0, value
+        linux.printk("e1000: Invalid %s specified (%d), %s"
+                     % (opt.name, value, opt.err))
+        return -linux.EINVAL, opt.default
+
+    if opt.type == LIST_OPTION:
+        if value in opt.valid_list:
+            return 0, value
+        linux.printk("e1000: Invalid %s specified (%d), %s"
+                     % (opt.name, value, opt.err))
+        return -linux.EINVAL, opt.default
+
+    return -linux.EINVAL, opt.default
+
+
+def e1000_check_options(adapter, options=None):
+    """Validate all module parameters and apply them to the adapter.
+
+    ``options`` maps parameter names to raw values (simulating insmod
+    arguments); missing entries mean unset.
+    """
+    options = options or {}
+
+    err, txd = e1000_check_txd(adapter, options.get("TxDescriptors",
+                                                    OPT_UNSET))
+    if err == 0:
+        adapter.tx_ring.count = txd
+
+    err, rxd = e1000_check_rxd(adapter, options.get("RxDescriptors",
+                                                    OPT_UNSET))
+    if err == 0:
+        adapter.rx_ring.count = rxd
+
+    e1000_check_fc(adapter, options.get("FlowControl", OPT_UNSET))
+    e1000_check_itr(adapter, options.get("InterruptThrottleRate",
+                                         OPT_UNSET))
+    e1000_check_copper_options(adapter,
+                               options.get("Speed", OPT_UNSET),
+                               options.get("Duplex", OPT_UNSET),
+                               options.get("AutoNeg", OPT_UNSET))
+    return 0
+
+
+def e1000_check_txd(adapter, value):
+    opt = e1000_option(RANGE_OPTION, "Transmit Descriptors",
+                       "using default of %d" % 256, 256,
+                       rmin=E1000_MIN_TXD, rmax=E1000_MAX_TXD)
+    err, validated = e1000_validate_option(value, opt)
+    # Align to multiple of 8, as hardware requires.
+    return err, validated & ~7
+
+
+def e1000_check_rxd(adapter, value):
+    opt = e1000_option(RANGE_OPTION, "Receive Descriptors",
+                       "using default of %d" % 256, 256,
+                       rmin=E1000_MIN_RXD, rmax=E1000_MAX_RXD)
+    err, validated = e1000_validate_option(value, opt)
+    return err, validated & ~7
+
+
+def e1000_check_fc(adapter, value):
+    opt = e1000_option(LIST_OPTION, "Flow Control",
+                       "reading default settings from EEPROM",
+                       FLOW_CONTROL_DEFAULT,
+                       valid_list=(0, 1, 2, 3, FLOW_CONTROL_DEFAULT))
+    err, validated = e1000_validate_option(value, opt)
+    adapter.hw.fc = validated
+    adapter.hw.original_fc = validated
+    return err
+
+
+def e1000_check_itr(adapter, value):
+    opt = e1000_option(RANGE_OPTION, "Interrupt Throttling Rate (ints/sec)",
+                       "using default of %d" % DEFAULT_ITR, DEFAULT_ITR,
+                       rmin=MIN_ITR, rmax=MAX_ITR)
+    err, validated = e1000_validate_option(value, opt)
+    adapter.itr = validated
+    return err
+
+
+def e1000_check_copper_options(adapter, speed, duplex, autoneg):
+    speed_opt = e1000_option(LIST_OPTION, "Speed", "parameter ignored", 0,
+                             valid_list=SPEED_LIST)
+    duplex_opt = e1000_option(LIST_OPTION, "Duplex", "parameter ignored", 0,
+                              valid_list=DUPLEX_LIST)
+    autoneg_opt = e1000_option(ENABLE_OPTION, "AutoNeg",
+                               "parameter ignored", 1)
+
+    err, spd = e1000_validate_option(speed, speed_opt)
+    err2, dpx = e1000_validate_option(duplex, duplex_opt)
+    err3, an = e1000_validate_option(autoneg, autoneg_opt)
+
+    if spd and an:
+        linux.printk("e1000: AutoNeg specified along with Speed, "
+                     "parameter ignored")
+        an = 1
+    adapter.hw.autoneg = an
+    adapter.hw.forced_speed_duplex = e1000_speed_duplex_to_hw(spd, dpx)
+    adapter.hw.autoneg_advertised = AUTONEG_ADV_DEFAULT
+    return 0
+
+
+def e1000_speed_duplex_to_hw(speed, duplex):
+    table = {
+        (10, 1): 0, (10, 2): 1,
+        (100, 1): 2, (100, 2): 3,
+    }
+    return table.get((speed, duplex), 0)

@@ -1,0 +1,79 @@
+"""Module glue shared by legacy and decaf drivers.
+
+A :class:`LegacyDriverModule` binds one legacy driver source module (its
+``linux`` global, its PCI glue) into a loadable :class:`KernelModule`.
+Decaf drivers use :class:`DecafDriverModule`, which additionally owns
+the XPC plumbing and the decaf runtime startup.
+"""
+
+from ..kernel.module import KernelModule
+from .linuxapi import LinuxApi
+
+
+class LegacyDriverModule(KernelModule):
+    def __init__(self, name, driver_module, pci_glue=None,
+                 init_fn=None, cleanup_fn=None, extra_modules=()):
+        self.name = name
+        self.driver_module = driver_module
+        self.extra_modules = tuple(extra_modules)
+        self.pci_glue = pci_glue
+        self.init_fn = init_fn
+        self.cleanup_fn = cleanup_fn
+        self.linux = None
+
+    def init_module(self, kernel):
+        self.linux = LinuxApi(kernel)
+        self.driver_module.linux = self.linux
+        for module in self.extra_modules:
+            module.linux = self.linux
+        # Driver-global state (the C file's static variables) must be
+        # fresh per load: a previous kernel instance may have left
+        # pointers into *its* memory manager behind.
+        for module in (self.driver_module,) + self.extra_modules:
+            state = getattr(module, "_state", None)
+            if state is not None:
+                state.__init__()
+        if self.init_fn is not None:
+            ret = self.init_fn()
+            if ret:
+                return ret
+        if self.pci_glue is not None:
+            bound = kernel.pci.register_driver(self.pci_glue)
+            if bound == 0:
+                kernel.pci.unregister_driver(self.pci_glue)
+                from ..kernel.errors import ENODEV
+
+                return -ENODEV
+        return 0
+
+    def cleanup_module(self, kernel):
+        if self.pci_glue is not None:
+            kernel.pci.unregister_driver(self.pci_glue)
+        if self.cleanup_fn is not None:
+            self.cleanup_fn()
+
+
+class DecafDriverModule(KernelModule):
+    """A decaf driver: nucleus (kernel) + decaf driver (user, managed).
+
+    ``setup(kernel)`` must return an object with ``pci_glue`` (optional)
+    and ``init()``/``cleanup()``; it is built by the driver's nucleus
+    module and wires XPC, the runtimes and the decaf-driver instance.
+    """
+
+    def __init__(self, name, setup):
+        self.name = name
+        self._setup = setup
+        self.instance = None
+
+    def init_module(self, kernel):
+        self.instance = self._setup(kernel)
+        ret = self.instance.init()
+        if ret:
+            self.instance = None
+        return ret
+
+    def cleanup_module(self, kernel):
+        if self.instance is not None:
+            self.instance.cleanup()
+            self.instance = None

@@ -1,0 +1,17 @@
+"""Driver evolution (paper section 5.2, Table 4)."""
+
+from .patches import (
+    EvolutionReport,
+    Patch,
+    apply_patch_series,
+    build_e1000_patch_series,
+    extend_struct,
+)
+
+__all__ = [
+    "Patch",
+    "EvolutionReport",
+    "build_e1000_patch_series",
+    "apply_patch_series",
+    "extend_struct",
+]

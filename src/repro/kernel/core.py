@@ -1,0 +1,151 @@
+"""The simulated kernel: one object aggregating every subsystem.
+
+The kernel is a discrete-event simulator.  All costs advance one virtual
+clock (:mod:`repro.kernel.vtime`); timers, deferred work, and device
+completions are events (:mod:`repro.kernel.events`) that fire as the clock
+advances.  Driver code executes synchronously inside event callbacks or
+inside code the test/workload drives directly; the execution context
+(hardirq / softirq / process) is tracked and its rules enforced.
+
+Typical use::
+
+    kernel = Kernel()
+    nic = E1000Device(kernel, ...)      # registers PCI function, IRQ, MMIO
+    kernel.pci.add_device(nic.pci)
+    kernel.modules.insmod(E1000Module())
+    kernel.run_for_ms(100)
+"""
+
+from .context import ExecContext, HARDIRQ, PROCESS, SOFTIRQ
+from .costs import CostModel
+from .errors import SimulationError
+from .events import EventQueue
+from .ioports import IoSpace
+from .irq import IrqController
+from .memory import MemoryManager
+from .module import ModuleLoader
+from .timers import Workqueue
+from .vtime import NSEC_PER_MSEC, NSEC_PER_SEC, NSEC_PER_USEC, CpuAccounting, VirtualClock
+
+
+class Kernel:
+    def __init__(self, costs=None):
+        self.costs = costs or CostModel()
+        self.clock = VirtualClock()
+        self.cpu = CpuAccounting(self.clock)
+        self.context = ExecContext()
+        self.events = EventQueue(self.clock)
+        self.irq = IrqController(self)
+        self.memory = MemoryManager(self)
+        self.io = IoSpace(self)
+        self.modules = ModuleLoader(self)
+        self.workqueue = Workqueue(self, name="events")
+        self.log_lines = []
+
+        # Bus / class subsystems are attached lazily to keep the core free
+        # of upward dependencies; see repro.kernel.__init__.
+        self.pci = None
+        self.net = None
+        self.sound = None
+        self.usb = None
+        self.input = None
+
+        self._advancing = 0
+
+    # -- logging (printk) ----------------------------------------------------
+
+    def printk(self, message):
+        self.log_lines.append((self.clock.now_ns, message))
+
+    # -- time ------------------------------------------------------------------
+
+    def now_ns(self):
+        return self.clock.now_ns
+
+    def run_until(self, target_ns):
+        """Advance virtual time to ``target_ns``, firing due events in order.
+
+        Re-entrant: an event handler that sleeps (``msleep``) nests another
+        ``run_until`` with a nearer target; monotonicity is preserved
+        because the clock only moves forward.
+        """
+        self._advancing += 1
+        try:
+            while True:
+                ev = self.events.pop_due(target_ns)
+                if ev is None:
+                    break
+                if ev.time_ns > self.clock.now_ns:
+                    self.clock._set(ev.time_ns)
+                self._dispatch_event(ev)
+            if target_ns > self.clock.now_ns:
+                self.clock._set(target_ns)
+        finally:
+            self._advancing -= 1
+
+    def run_for_ns(self, delta_ns):
+        self.run_until(self.clock.now_ns + delta_ns)
+
+    def run_for_ms(self, ms):
+        self.run_for_ns(int(ms * NSEC_PER_MSEC))
+
+    def run_for_s(self, seconds):
+        self.run_for_ns(int(seconds * NSEC_PER_SEC))
+
+    def _dispatch_event(self, ev):
+        if ev.context == HARDIRQ:
+            self.context.enter_irq()
+            try:
+                ev.callback()
+            finally:
+                self.context.exit_irq()
+        elif ev.context == SOFTIRQ:
+            self.context.enter_softirq()
+            try:
+                ev.callback()
+            finally:
+                self.context.exit_softirq()
+        else:
+            ev.callback()
+
+    # -- cost charging ------------------------------------------------------------
+
+    def consume(self, ns, busy=True, category="kernel"):
+        """Advance the clock by ``ns`` of work, firing events that come due.
+
+        ``busy=True`` additionally charges CPU time (utilization).
+        """
+        if ns < 0:
+            raise SimulationError("negative time consumption")
+        if busy:
+            self.cpu.charge(ns, category)
+        self.run_until(self.clock.now_ns + ns)
+
+    # -- delays (Linux API names) ----------------------------------------------
+
+    def udelay(self, usecs):
+        """Busy-wait; legal in atomic context (burns CPU)."""
+        self.consume(int(usecs * NSEC_PER_USEC), busy=True, category="delay")
+
+    def mdelay(self, msecs):
+        self.udelay(msecs * 1000)
+
+    def msleep(self, msecs):
+        """Sleeping delay; forbidden in atomic context."""
+        self.context.might_sleep("msleep")
+        self.consume(int(msecs * NSEC_PER_MSEC), busy=False, category="sleep")
+
+    def msleep_interruptible(self, msecs):
+        self.msleep(msecs)
+        return 0
+
+    def schedule_timeout(self, msecs):
+        self.msleep(msecs)
+
+    # -- Linux accessor shims used pervasively by drivers -----------------------
+
+    def request_irq(self, irq, handler, name, dev_id=None):
+        return self.irq.request_irq(irq, handler, name, dev_id)
+
+    def free_irq(self, irq, dev_id=None):
+        self.irq.free_irq(irq, dev_id)

@@ -1,0 +1,72 @@
+"""The virtual-time cost model.
+
+Every constant here is a nanosecond cost charged to the virtual clock.  The
+absolute values are calibrated to commodity x86 hardware of the paper's era
+(3 GHz Pentium D / 2.5 GHz Core 2) so that the *shape* of Table 3 --
+steady-state parity, several-fold init slowdowns ordered by crossing count
+and marshaled bytes -- reproduces.  Absolute seconds are not the claim; the
+model is deliberately centralized so a user can re-calibrate one object.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostModel:
+    """Nanosecond costs for simulated operations."""
+
+    # Device access.  Port I/O on legacy hardware is slow (~1 us per access);
+    # MMIO is faster.  EEPROM and PHY accesses on NICs involve bit-banged
+    # serial protocols measured in microseconds.
+    port_io_ns: int = 1_000
+    mmio_ns: int = 250
+    eeprom_word_ns: int = 40_000
+    phy_reg_ns: int = 40_000
+
+    # Interrupt delivery and handling overhead.
+    irq_entry_ns: int = 800
+
+    # Packet-path CPU costs (per packet, excluding copies).  Calibrated
+    # so gigabit receive lands near the paper's ~20% CPU and transmit
+    # (DMA, checksum offload, zero-copy) in the low percent range:
+    # receive pays protocol processing plus a copy to user space.
+    packet_cpu_ns: int = 350        # transmit-side per-packet cost
+    rx_packet_cpu_ns: int = 1_000   # receive-side protocol processing
+    rx_user_copy_byte_ns: float = 0.6
+    byte_copy_ns: float = 0.08
+
+    # Base kernel operations.
+    kmalloc_ns: int = 300
+    context_switch_ns: int = 3_000
+
+    # Module loading: base cost of insmod machinery (link, relocate).
+    insmod_base_ns: int = 10_000_000
+
+    # XPC costs.  A kernel<->user crossing involves a system call, a wakeup
+    # of the user-level driver process, and a scheduler round trip; the
+    # paper's measured init latencies put the all-in cost per crossing in
+    # the tens of milliseconds once marshaling is included.  We charge a
+    # fixed control-transfer cost per crossing plus a per-byte marshaling
+    # cost; big structures (E1000's adapter) then dominate, as observed.
+    # The dispatch term reflects the paper's unoptimized marshaling
+    # path (unmarshal in user C, re-marshal into Java) plus the
+    # scheduler round trip; their measured init latencies put it around
+    # 10-50 ms per crossing.
+    xpc_kernel_user_ns: int = 60_000
+    xpc_thread_dispatch_ns: int = 7_000_000
+    xpc_lang_ns: int = 20_000  # C<->Java (JNI) transition
+    marshal_byte_ns: int = 450
+    marshal_field_ns: int = 2_200
+    objtracker_lookup_ns: int = 800
+
+    # User-level managed runtime: JVM startup charged once per decaf driver
+    # process, garbage-collection amortized cost ignored (idle-time).
+    jvm_startup_ns: int = 220_000_000
+
+    # Scheduling granularity for workloads.
+    tick_ns: int = 1_000_000
+
+    extra: dict = field(default_factory=dict)
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,88 @@
+"""Discrete-event machinery for the simulated kernel.
+
+The kernel owns a single event queue ordered by virtual time.  Timers,
+deferred work, device completions (EEPROM reads, DMA, link negotiation) and
+workload pacing are all events.  Events run in a declared execution context
+(hardirq / softirq / process), and the context rules of
+:mod:`repro.kernel.context` apply while they run.
+"""
+
+import heapq
+import itertools
+
+from .context import HARDIRQ, PROCESS, SOFTIRQ
+from .errors import SimulationError
+
+_VALID_CONTEXTS = (HARDIRQ, SOFTIRQ, PROCESS)
+
+
+class Event:
+    """A scheduled callback; cancellable, single-shot."""
+
+    __slots__ = ("time_ns", "seq", "callback", "context", "name", "cancelled")
+
+    def __init__(self, time_ns, seq, callback, context, name):
+        self.time_ns = time_ns
+        self.seq = seq
+        self.callback = callback
+        self.context = context
+        self.name = name
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time_ns, self.seq) < (other.time_ns, other.seq)
+
+    def __repr__(self):
+        return "<Event %s @%dns ctx=%s%s>" % (
+            self.name,
+            self.time_ns,
+            self.context,
+            " cancelled" if self.cancelled else "",
+        )
+
+
+class EventQueue:
+    """Time-ordered queue with stable FIFO ordering for equal timestamps."""
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._heap = []
+        self._seq = itertools.count()
+
+    def __len__(self):
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule_at(self, time_ns, callback, context=PROCESS, name="event"):
+        if context not in _VALID_CONTEXTS:
+            raise SimulationError("unknown event context %r" % (context,))
+        if time_ns < self._clock.now_ns:
+            # Late events run "now"; the queue never travels backwards.
+            time_ns = self._clock.now_ns
+        ev = Event(time_ns, next(self._seq), callback, context, name)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_after(self, delay_ns, callback, context=PROCESS, name="event"):
+        return self.schedule_at(
+            self._clock.now_ns + max(0, delay_ns), callback, context, name
+        )
+
+    def peek_time(self):
+        """Virtual time of the next live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_ns if self._heap else None
+
+    def pop_due(self, target_ns):
+        """Pop the next live event due at or before ``target_ns``."""
+        while self._heap:
+            if self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if self._heap[0].time_ns <= target_ns:
+                return heapq.heappop(self._heap)
+            return None
+        return None

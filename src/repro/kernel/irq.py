@@ -1,0 +1,130 @@
+"""Interrupt controller.
+
+Devices raise interrupts on numbered lines; the controller dispatches the
+registered handler immediately (in hardirq context) unless the line or local
+interrupts are masked, in which case the interrupt is latched and delivered
+on unmask.  ``disable_irq``/``enable_irq`` are the primitives the Decaf
+*nuclear runtime* uses to keep the device from interrupting the driver while
+the decaf driver runs at user level (paper section 3.1.3).
+"""
+
+from .errors import KernelPanic, SimulationError
+
+IRQ_NONE = 0
+IRQ_HANDLED = 1
+
+
+class _IrqLine:
+    __slots__ = ("number", "handler", "dev_id", "name", "disable_depth", "pending")
+
+    def __init__(self, number):
+        self.number = number
+        self.handler = None
+        self.dev_id = None
+        self.name = None
+        self.disable_depth = 0
+        self.pending = False
+
+
+class IrqController:
+    def __init__(self, kernel, nr_irqs=32):
+        self._kernel = kernel
+        self._lines = [_IrqLine(i) for i in range(nr_irqs)]
+        self._local_disable_depth = 0
+        self._local_pending = set()
+        self.delivered = 0
+        self.spurious = 0
+
+    def _line(self, irq):
+        if not 0 <= irq < len(self._lines):
+            raise SimulationError("bad irq number %d" % irq)
+        return self._lines[irq]
+
+    # -- driver API ---------------------------------------------------------
+
+    def request_irq(self, irq, handler, name, dev_id=None):
+        """Register ``handler(irq, dev_id)`` for a line.  Returns 0 or -EBUSY."""
+        from .errors import EBUSY
+
+        line = self._line(irq)
+        if line.handler is not None:
+            return -EBUSY
+        line.handler = handler
+        line.dev_id = dev_id
+        line.name = name
+        return 0
+
+    def free_irq(self, irq, dev_id=None):
+        line = self._line(irq)
+        line.handler = None
+        line.dev_id = None
+        line.name = None
+        line.pending = False
+
+    def disable_irq(self, irq):
+        """Mask one line; nests."""
+        self._line(irq).disable_depth += 1
+
+    def enable_irq(self, irq):
+        line = self._line(irq)
+        if line.disable_depth == 0:
+            raise SimulationError("enable_irq(%d) without disable" % irq)
+        line.disable_depth -= 1
+        if line.disable_depth == 0 and line.pending:
+            line.pending = False
+            self._dispatch(line)
+
+    def irq_disabled(self, irq):
+        return self._line(irq).disable_depth > 0
+
+    def local_irq_disable(self):
+        self._local_disable_depth += 1
+
+    def local_irq_enable(self):
+        if self._local_disable_depth == 0:
+            raise SimulationError("local_irq_enable without disable")
+        self._local_disable_depth -= 1
+        if self._local_disable_depth == 0:
+            pending = sorted(self._local_pending)
+            self._local_pending.clear()
+            for irq in pending:
+                line = self._line(irq)
+                if line.disable_depth == 0:
+                    self._dispatch(line)
+                else:
+                    line.pending = True
+
+    # -- device API ----------------------------------------------------------
+
+    def raise_irq(self, irq):
+        """A device asserts its interrupt line."""
+        line = self._line(irq)
+        if self._local_disable_depth > 0:
+            self._local_pending.add(irq)
+            return
+        if line.disable_depth > 0:
+            line.pending = True
+            return
+        self._dispatch(line)
+
+    # -- internal -------------------------------------------------------------
+
+    def _dispatch(self, line):
+        kernel = self._kernel
+        kernel.cpu.charge(kernel.costs.irq_entry_ns, "irq")
+        if line.handler is None:
+            self.spurious += 1
+            return
+        # The CPU masks local interrupts while a handler runs: a device
+        # asserting mid-handler is latched and delivered on return, so
+        # handlers never nest (no reentrant ring cleaning).
+        self.local_irq_disable()
+        kernel.context.enter_irq()
+        try:
+            ret = line.handler(line.number, line.dev_id)
+        finally:
+            kernel.context.exit_irq()
+            self.local_irq_enable()
+        self.delivered += 1
+        if ret == IRQ_NONE:
+            self.spurious += 1

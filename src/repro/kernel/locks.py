@@ -1,0 +1,140 @@
+"""Kernel locking primitives: spinlock, mutex, semaphore.
+
+The simulation is single-CPU and event-driven, so locks never actually
+block; what they provide is *rule enforcement* and *state tracking*:
+
+* A spinlock acquisition disables sleeping until release.  Acquiring a
+  spinlock that is already held on this CPU is a self-deadlock and raises.
+* A mutex/semaphore acquisition is a potentially-sleeping operation and is
+  rejected in atomic context, exactly the property that forces driver
+  functions called under spinlocks to stay in the driver nucleus (paper
+  section 3.1.3).
+
+The combolock of the Decaf runtime builds on these
+(:mod:`repro.core.combolock`).
+"""
+
+from .errors import DeadlockError
+
+
+class SpinLock:
+    """A kernel spinlock.  Holding it makes the context atomic."""
+
+    def __init__(self, kernel, name="spinlock"):
+        self._kernel = kernel
+        self.name = name
+        self.owner_context = None
+        self._held = False
+        self.acquisitions = 0
+
+    @property
+    def held(self):
+        return self._held
+
+    def lock(self):
+        if self._held:
+            raise DeadlockError(
+                "spinlock %r acquired while already held (single-CPU self-deadlock)"
+                % self.name
+            )
+        self._held = True
+        self.acquisitions += 1
+        self.owner_context = self._kernel.context.current_context()
+        self._kernel.context.push_spinlock(self)
+
+    def unlock(self):
+        if not self._held:
+            raise DeadlockError("spinlock %r released while not held" % self.name)
+        self._held = False
+        self.owner_context = None
+        self._kernel.context.pop_spinlock(self)
+
+    def lock_irqsave(self):
+        """Linux ``spin_lock_irqsave``: also masks interrupts on this CPU."""
+        self._kernel.irq.local_irq_disable()
+        self.lock()
+
+    def unlock_irqrestore(self):
+        self.unlock()
+        self._kernel.irq.local_irq_enable()
+
+    def __enter__(self):
+        self.lock()
+        return self
+
+    def __exit__(self, *exc):
+        self.unlock()
+        return False
+
+
+class Mutex:
+    """A sleeping mutex.  Blocking operations are allowed while held."""
+
+    def __init__(self, kernel, name="mutex"):
+        self._kernel = kernel
+        self.name = name
+        self._held = False
+        self.acquisitions = 0
+
+    @property
+    def held(self):
+        return self._held
+
+    def lock(self):
+        self._kernel.context.might_sleep("mutex_lock(%s)" % self.name)
+        if self._held:
+            raise DeadlockError(
+                "mutex %r acquired while already held (single-thread self-deadlock)"
+                % self.name
+            )
+        self._kernel.cpu.charge(self._kernel.costs.kmalloc_ns, "locking")
+        self._held = True
+        self.acquisitions += 1
+
+    def unlock(self):
+        if not self._held:
+            raise DeadlockError("mutex %r released while not held" % self.name)
+        self._held = False
+
+    def __enter__(self):
+        self.lock()
+        return self
+
+    def __exit__(self, *exc):
+        self.unlock()
+        return False
+
+
+class Semaphore:
+    """A counting semaphore with sleeping ``down``."""
+
+    def __init__(self, kernel, count=1, name="semaphore"):
+        self._kernel = kernel
+        self.name = name
+        self._count = count
+        self.acquisitions = 0
+
+    @property
+    def count(self):
+        return self._count
+
+    def down(self):
+        self._kernel.context.might_sleep("down(%s)" % self.name)
+        if self._count <= 0:
+            raise DeadlockError(
+                "semaphore %r down() with count 0 would block forever "
+                "(single simulated thread)" % self.name
+            )
+        self._count -= 1
+        self.acquisitions += 1
+
+    def down_trylock(self):
+        """Non-sleeping acquire; returns True on success."""
+        if self._count <= 0:
+            return False
+        self._count -= 1
+        self.acquisitions += 1
+        return True
+
+    def up(self):
+        self._count += 1

@@ -1,0 +1,212 @@
+"""Network core: net_device, sk_buff, transmit/receive paths.
+
+Workloads hand packets to :meth:`NetworkCore.dev_queue_xmit`, which calls
+the driver's ``hard_start_xmit`` honoring the transmit-queue state the
+driver controls with ``netif_stop_queue`` / ``netif_wake_queue``.  Receive
+is ``netif_rx``: the driver (usually in its interrupt handler) pushes an
+skb up; the core charges protocol-stack CPU cost and delivers it to an
+optional sink installed by the workload.
+
+This mirrors enough of the Linux data path that the 8139too and E1000
+drivers' performance-critical code is structurally the same as in C.
+"""
+
+from .errors import EBUSY, ENODEV
+
+NETDEV_TX_OK = 0
+NETDEV_TX_BUSY = 1
+
+IFF_UP = 0x1
+IFF_PROMISC = 0x100
+IFF_ALLMULTI = 0x200
+
+
+class SkBuff:
+    """A socket buffer: payload plus bookkeeping."""
+
+    __slots__ = ("data", "protocol", "timestamp_ns", "dev")
+
+    def __init__(self, data, protocol=0x0800):
+        self.data = bytes(data)
+        self.protocol = protocol
+        self.timestamp_ns = 0
+        self.dev = None
+
+    def __len__(self):
+        return len(self.data)
+
+
+class NetDeviceStats:
+    """Mirrors ``struct net_device_stats``."""
+
+    FIELDS = (
+        "rx_packets", "tx_packets", "rx_bytes", "tx_bytes",
+        "rx_errors", "tx_errors", "rx_dropped", "tx_dropped",
+        "multicast", "collisions", "rx_fifo_errors", "rx_crc_errors",
+        "rx_length_errors", "tx_fifo_errors", "tx_carrier_errors",
+    )
+
+    def __init__(self):
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self):
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
+class NetDevice:
+    """``struct net_device``: ops are attributes assigned by the driver."""
+
+    def __init__(self, kernel, name="eth%d"):
+        self._kernel = kernel
+        self.name = name
+        self.mtu = 1500
+        self.dev_addr = bytes(6)
+        self.flags = 0
+        self.features = 0
+        self.irq = 0
+        self.base_addr = 0
+        self.mem_start = 0
+        self.priv = None
+        self.stats = NetDeviceStats()
+
+        # Driver-provided operations (subset of net_device_ops).
+        self.open = None
+        self.stop = None
+        self.hard_start_xmit = None
+        self.get_stats = None
+        self.set_multicast_list = None
+        self.set_mac_address = None
+        self.change_mtu = None
+        self.tx_timeout = None
+        self.do_ioctl = None
+
+        self._queue_stopped = True
+        self._carrier_ok = False
+        self.registered = False
+        self.tx_queue_wakeups = 0
+
+    # -- queue control (driver side) -----------------------------------------
+
+    def netif_start_queue(self):
+        self._queue_stopped = False
+
+    def netif_stop_queue(self):
+        self._queue_stopped = True
+
+    def netif_wake_queue(self):
+        if self._queue_stopped:
+            self.tx_queue_wakeups += 1
+        self._queue_stopped = False
+
+    def netif_queue_stopped(self):
+        return self._queue_stopped
+
+    def netif_carrier_on(self):
+        self._carrier_ok = True
+
+    def netif_carrier_off(self):
+        self._carrier_ok = False
+
+    def netif_carrier_ok(self):
+        return self._carrier_ok
+
+    def netif_running(self):
+        return bool(self.flags & IFF_UP)
+
+
+class NetworkCore:
+    def __init__(self, kernel):
+        self._kernel = kernel
+        self._devices = []
+        self._ifindex = 0
+        self.rx_sink = None  # callable(dev, skb) installed by workloads
+        self.stack_rx_packets = 0
+        self.stack_rx_bytes = 0
+
+    @property
+    def devices(self):
+        return list(self._devices)
+
+    def register_netdev(self, dev):
+        if dev.registered:
+            return -EBUSY
+        if "%d" in dev.name:
+            dev.name = dev.name % self._ifindex
+        self._ifindex += 1
+        dev.registered = True
+        self._devices.append(dev)
+        return 0
+
+    def unregister_netdev(self, dev):
+        dev.registered = False
+        self._devices.remove(dev)
+
+    def find(self, name):
+        for dev in self._devices:
+            if dev.name == name:
+                return dev
+        return None
+
+    # -- up/down (ifconfig) ------------------------------------------------------
+
+    def dev_open(self, dev):
+        if dev.flags & IFF_UP:
+            return 0
+        ret = dev.open(dev) if dev.open else 0
+        if ret == 0:
+            dev.flags |= IFF_UP
+        return ret
+
+    def dev_close(self, dev):
+        if not dev.flags & IFF_UP:
+            return 0
+        ret = dev.stop(dev) if dev.stop else 0
+        dev.flags &= ~IFF_UP
+        return ret
+
+    # -- transmit path -------------------------------------------------------------
+
+    def dev_queue_xmit(self, dev, skb):
+        """Send one skb; returns NETDEV_TX_OK or NETDEV_TX_BUSY.
+
+        Charges the protocol-stack cost the paper's netperf workload pays
+        per packet above the driver.
+        """
+        if not dev.registered or not (dev.flags & IFF_UP):
+            return -ENODEV
+        if dev.netif_queue_stopped():
+            return NETDEV_TX_BUSY
+        kernel = self._kernel
+        kernel.consume(
+            int(kernel.costs.packet_cpu_ns + len(skb) * kernel.costs.byte_copy_ns),
+            busy=True,
+            category="netstack",
+        )
+        skb.timestamp_ns = kernel.clock.now_ns
+        return dev.hard_start_xmit(skb, dev)
+
+    # -- receive path ----------------------------------------------------------------
+
+    def netif_rx(self, dev, skb):
+        """Driver hands a received skb to the stack.
+
+        Charges protocol processing plus the copy to user space the
+        receive path pays (transmit is zero-copy DMA).
+        """
+        kernel = self._kernel
+        kernel.consume(
+            int(
+                kernel.costs.rx_packet_cpu_ns
+                + len(skb)
+                * (kernel.costs.byte_copy_ns + kernel.costs.rx_user_copy_byte_ns)
+            ),
+            busy=True,
+            category="netstack",
+        )
+        skb.dev = dev
+        self.stack_rx_packets += 1
+        self.stack_rx_bytes += len(skb)
+        if self.rx_sink is not None:
+            self.rx_sink(dev, skb)
+        return 0

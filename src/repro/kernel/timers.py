@@ -1,0 +1,122 @@
+"""Kernel timers and deferred work.
+
+Linux timer callbacks run in softirq context at high priority: they must not
+sleep, hence the paper's technique of converting driver timers (E1000's
+watchdog) into work items executed by a worker thread, which *may* sleep and
+may therefore call up into the decaf driver.
+
+:class:`KernelTimer` mirrors ``struct timer_list`` (``mod_timer`` /
+``del_timer``); :class:`Workqueue` mirrors ``schedule_work`` with
+process-context execution.
+"""
+
+from .context import PROCESS, SOFTIRQ
+
+
+class KernelTimer:
+    """A one-shot re-armable kernel timer; callback runs in softirq context."""
+
+    def __init__(self, kernel, function, data=None, name="timer"):
+        self._kernel = kernel
+        self.function = function
+        self.data = data
+        self.name = name
+        self._event = None
+        self.fired = 0
+
+    def mod_timer(self, expires_ns):
+        """(Re)arm to fire at absolute virtual time ``expires_ns``."""
+        self.del_timer()
+        self._event = self._kernel.events.schedule_at(
+            expires_ns, self._fire, context=SOFTIRQ, name="timer:%s" % self.name
+        )
+
+    def mod_timer_after(self, delay_ns):
+        self.mod_timer(self._kernel.clock.now_ns + max(0, delay_ns))
+
+    def del_timer(self):
+        """Cancel if pending; returns True if a pending timer was cancelled."""
+        if self._event is not None and not self._event.cancelled:
+            self._event.cancel()
+            self._event = None
+            return True
+        self._event = None
+        return False
+
+    @property
+    def pending(self):
+        return self._event is not None and not self._event.cancelled
+
+    def _fire(self):
+        self._event = None
+        self.fired += 1
+        self.function(self.data)
+
+
+class WorkItem:
+    """A deferred unit of work executed in process context."""
+
+    def __init__(self, kernel, function, data=None, name="work"):
+        self._kernel = kernel
+        self.function = function
+        self.data = data
+        self.name = name
+        self._event = None
+        self._queue = None
+        self.executed = 0
+
+    @property
+    def pending(self):
+        return self._event is not None and not self._event.cancelled
+
+    def _run(self):
+        self._event = None
+        if self._queue is not None:
+            self._queue._pending.discard(self)
+            self._queue = None
+        self.executed += 1
+        self._kernel.cpu.charge(self._kernel.costs.context_switch_ns, "workqueue")
+        self.function(self.data)
+
+
+class Workqueue:
+    """Mirrors the kernel's shared workqueue (``schedule_work``)."""
+
+    def __init__(self, kernel, name="events"):
+        self._kernel = kernel
+        self.name = name
+        self.scheduled = 0
+        self._pending = set()
+
+    def schedule_work(self, item, delay_ns=0):
+        """Queue ``item`` unless already pending; returns True if queued."""
+        if item.pending:
+            return False
+        item._event = self._kernel.events.schedule_after(
+            delay_ns, item._run, context=PROCESS, name="work:%s" % item.name
+        )
+        item._queue = self
+        self._pending.add(item)
+        self.scheduled += 1
+        return True
+
+    def cancel_work(self, item):
+        if item._event is not None:
+            item._event.cancel()
+            item._event = None
+            self._pending.discard(item)
+            item._queue = None
+            return True
+        return False
+
+    def flush(self):
+        """Advance virtual time until all currently-queued items have run.
+
+        Only drains *this* queue's pending items; unrelated periodic timers
+        in the event queue do not keep flush alive forever.
+        """
+        while self._pending:
+            deadline = max(
+                item._event.time_ns for item in self._pending if item._event
+            )
+            self._kernel.run_until(deadline)

@@ -1,0 +1,150 @@
+"""Field-access analysis: which struct fields user-level code touches.
+
+DriverSlicer generates marshaling code that copies only the fields the
+user-level partition accesses (paper sections 2.3 and 3.2.4).  This
+analysis walks the user-partition functions' ASTs, resolving parameter
+and local names to struct types via the config's type hints plus field
+-chasing (``adapter.hw`` has the type of the ``hw`` field), and records
+reads and writes per struct type.
+
+The result feeds a :class:`repro.core.marshal.MarshalPlan`.  When Java
+code later needs fields the analysis cannot see (section 3.2.4 -- CIL
+only sees C), ``DECAF_XVAR`` additions from the config are merged in by
+:func:`build_marshal_plan`.
+"""
+
+import ast
+import inspect
+
+from ..core.cstruct import Ptr, Struct, StructRegistry
+from ..core.marshal import FieldAccess, MarshalPlan
+
+
+def _field_type_name(struct_cls, field_name):
+    """If struct.field is itself struct-typed, return that type name."""
+    field = struct_cls._fields_by_name.get(field_name)
+    if field is None:
+        return None
+    ctype = field.ctype
+    if isinstance(ctype, Struct):
+        return ctype.struct_cls.__name__
+    if isinstance(ctype, Ptr):
+        target = ctype.target
+        if isinstance(target, str):
+            return target
+        if isinstance(target, type):
+            return target.__name__
+    return None
+
+
+class _AccessVisitor(ast.NodeVisitor):
+    def __init__(self, type_hints, accesses):
+        self.type_hints = dict(type_hints)
+        self.accesses = accesses
+        self._local_types = dict(type_hints)
+
+    def _type_of(self, node):
+        """Best-effort struct type name of an expression."""
+        if isinstance(node, ast.Name):
+            return self._local_types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._type_of(node.value)
+            if base is None:
+                return None
+            try:
+                struct_cls = StructRegistry.get(base)
+            except Exception:
+                return None
+            return _field_type_name(struct_cls, node.attr)
+        return None
+
+    def _record(self, node, write):
+        if not isinstance(node, ast.Attribute):
+            return
+        base_type = self._type_of(node.value)
+        if base_type is None:
+            return
+        try:
+            struct_cls = StructRegistry.get(base_type)
+        except Exception:
+            return
+        if node.attr not in struct_cls._fields_by_name:
+            return
+        access = self.accesses.setdefault(base_type, FieldAccess())
+        if write:
+            access.add_write(node.attr)
+        else:
+            access.add_read(node.attr)
+
+    def _record_target(self, target):
+        # Element stores (``hw.mac_addr[i] = x``) are writes to the
+        # array field; unwrap the subscript.
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        self._record(target, write=True)
+        # A nested write (``adapter.tx_ring.count = x``) writes *through*
+        # every container field on the way down: mark those as written
+        # too, so the containers marshal back toward the kernel.
+        node = target.value if isinstance(target, ast.Attribute) else None
+        while isinstance(node, ast.Attribute):
+            self._record(node, write=True)
+            node = node.value
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            self._record_target(target)
+            # Track simple aliasing: ``hw = adapter.hw``.
+            if isinstance(target, ast.Name):
+                inferred = self._type_of(node.value)
+                if inferred is not None:
+                    self._local_types[target.id] = inferred
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node):
+        self._record_target(node.target)
+        target = node.target
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        self._record(target, write=False)
+        self.visit(node.value)
+
+    def visit_Attribute(self, node):
+        self._record(node, write=False)
+        self.generic_visit(node)
+
+
+def analyze_field_accesses(modules, user_funcs, type_hints):
+    """Return {struct_name: FieldAccess} over the user partition."""
+    accesses = {}
+    for module in modules:
+        source = inspect.getsource(module)
+        tree = ast.parse(source)
+        for node in tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name not in user_funcs:
+                continue
+            visitor = _AccessVisitor(type_hints, accesses)
+            visitor.visit(node)
+    return accesses
+
+
+def build_marshal_plan(accesses, extra_access=()):
+    """Build a MarshalPlan, merging DECAF_XVAR-style additions.
+
+    ``extra_access`` entries are (struct_name, field_name, mode) with
+    mode one of "R", "W", "RW" -- the paper's ``DECAF_XVAR(y)``
+    annotations that tell the slicer about fields only Java code (which
+    CIL cannot see) touches.
+    """
+    merged = {name: FieldAccess(a.reads, a.writes) for name, a in accesses.items()}
+    for struct_name, field_name, mode in extra_access:
+        access = merged.setdefault(struct_name, FieldAccess())
+        if "R" in mode:
+            access.add_read(field_name)
+        if "W" in mode:
+            access.add_write(field_name)
+    plan = MarshalPlan()
+    for name, access in merged.items():
+        plan.set_access(name, access)
+    return plan

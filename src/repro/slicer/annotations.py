@@ -1,0 +1,63 @@
+"""Annotation processing and counting.
+
+Two kinds of annotations drive DriverSlicer (paper sections 3.2.2 and
+3.2.4):
+
+* **Pointer/array annotations** on struct fields -- ``Exp("LEN")``,
+  ``Opaque()``, ``Null()`` -- that tell the marshaling generator how to
+  treat pointers.  Table 2's "DriverSlicer Annotations" column counts
+  the lines these occupy in each driver.
+
+* **DECAF_XVAR(y)** marks placed in entry-point functions when the
+  decaf driver needs fields the static analysis cannot see.  We accept
+  them as calls ``DECAF_RVAR("field")`` / ``DECAF_WVAR`` /
+  ``DECAF_RWVAR`` or comments ``# DECAF_RWVAR(field)`` in driver
+  source, and as config-level ``extra_access`` tuples.
+"""
+
+import ast
+import inspect
+import re
+
+from ..core.cstruct import Annotation, StructRegistry
+
+_XVAR_CALL = re.compile(r"DECAF_(R|W|RW)VAR\(\s*['\"]?(\w+)['\"]?\s*\)")
+
+
+def count_annotations(modules):
+    """Count annotated field declarations across a driver's structs.
+
+    Returns (annotation_count, per_struct dict).  Each annotated field
+    line counts once, as in Table 2.
+    """
+    per_struct = {}
+    total = 0
+    module_names = {m.__name__.rsplit(".", 1)[-1] for m in modules}
+    for name, struct_cls in StructRegistry.all_structs().items():
+        # Only structs defined in these modules.
+        mod = struct_cls.__module__.rsplit(".", 1)[-1]
+        if mod not in module_names:
+            continue
+        count = sum(1 for f in struct_cls.fields() if f.annotations)
+        if count:
+            per_struct[name] = count
+            total += count
+    return total, per_struct
+
+
+def find_xvar_annotations(modules):
+    """Collect DECAF_XVAR marks from driver source.
+
+    Returns a list of (function_name, mode, field_name).
+    """
+    found = []
+    for module in modules:
+        source = inspect.getsource(module)
+        tree = ast.parse(source)
+        for node in tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            segment = ast.get_source_segment(source, node) or ""
+            for match in _XVAR_CALL.finditer(segment):
+                found.append((node.name, match.group(1), match.group(2)))
+    return found

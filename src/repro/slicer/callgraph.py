@@ -1,0 +1,161 @@
+"""Call-graph extraction over legacy driver source.
+
+Plays the role CIL plays for the paper's DriverSlicer: parse every
+module of a driver, find the function definitions, and record three
+kinds of outgoing edges per function:
+
+* **driver calls** -- direct calls to functions defined in any of the
+  driver's own modules (including cross-module ``e1000_hw.foo(...)``);
+* **kernel calls** -- calls through the ``linux`` facade (the kernel
+  API surface);
+* **references** -- a driver function's name used as a value (stored in
+  an ops table, passed to ``request_irq``).  Like CIL's treatment of
+  function pointers, a reference is a conservative potential call for
+  reachability purposes *when the referencing function is itself in the
+  kernel partition*.
+"""
+
+import ast
+import inspect
+import textwrap
+
+
+class FunctionInfo:
+    __slots__ = ("name", "module", "lineno", "end_lineno", "loc",
+                 "driver_calls", "kernel_calls", "references", "doc")
+
+    def __init__(self, name, module, lineno, end_lineno, loc):
+        self.name = name
+        self.module = module
+        self.lineno = lineno
+        self.end_lineno = end_lineno
+        self.loc = loc
+        self.driver_calls = set()
+        self.kernel_calls = set()
+        self.references = set()
+        self.doc = None
+
+    def __repr__(self):
+        return "<fn %s (%d loc)>" % (self.name, self.loc)
+
+
+class CallGraph:
+    def __init__(self):
+        self.functions = {}   # name -> FunctionInfo
+        self.modules = []
+        self.struct_classes = {}  # name -> class source module
+
+    def add(self, info):
+        self.functions[info.name] = info
+
+    def callees(self, name, include_references=False):
+        info = self.functions.get(name)
+        if info is None:
+            return set()
+        result = set(info.driver_calls)
+        if include_references:
+            result |= info.references
+        return result
+
+    def all_names(self):
+        return set(self.functions)
+
+    def total_loc(self):
+        return sum(f.loc for f in self.functions.values())
+
+
+class _FunctionVisitor(ast.NodeVisitor):
+    """Collects call and reference edges inside one function body."""
+
+    def __init__(self, driver_function_names, module_aliases):
+        self.driver_function_names = driver_function_names
+        self.module_aliases = module_aliases
+        self.driver_calls = set()
+        self.kernel_calls = set()
+        self.references = set()
+
+    def visit_Call(self, node):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self.driver_function_names:
+                self.driver_calls.add(func.id)
+        elif isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id == "linux":
+                    self.kernel_calls.add(func.attr)
+                elif value.id in self.module_aliases:
+                    if func.attr in self.driver_function_names:
+                        self.driver_calls.add(func.attr)
+        # Arguments may carry function references.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            self._maybe_reference(arg)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node):
+        self._maybe_reference(node.value)
+        self.generic_visit(node)
+
+    def _maybe_reference(self, node):
+        if isinstance(node, ast.Name) and node.id in self.driver_function_names:
+            self.references.add(node.id)
+
+
+def _function_loc(node, source_lines):
+    """Non-blank, non-comment lines of one function body."""
+    count = 0
+    for i in range(node.lineno - 1, (node.end_lineno or node.lineno)):
+        line = source_lines[i].strip()
+        if line and not line.startswith("#"):
+            count += 1
+    return count
+
+
+def build_call_graph(modules):
+    """Build the call graph over a list of imported driver modules."""
+    graph = CallGraph()
+    parsed = []
+    module_aliases = set()
+
+    for module in modules:
+        source = inspect.getsource(module)
+        tree = ast.parse(source)
+        short = module.__name__.rsplit(".", 1)[-1]
+        module_aliases.add(short)
+        parsed.append((module, short, tree, source.splitlines()))
+
+    # Pass 1: function definitions and struct classes.
+    for module, short, tree, lines in parsed:
+        graph.modules.append(short)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef):
+                # Skip nested defs and class methods for top-level naming;
+                # methods are recorded under their own names too (the ops
+                # tables hold staticmethods delegating to free functions).
+                pass
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                info = FunctionInfo(node.name, short, node.lineno,
+                                    node.end_lineno, _function_loc(node, lines))
+                info.doc = ast.get_docstring(node)
+                graph.add(info)
+            elif isinstance(node, ast.ClassDef):
+                bases = {getattr(b, "id", getattr(b, "attr", "")) for b in node.bases}
+                if "CStruct" in bases:
+                    graph.struct_classes[node.name] = short
+
+    names = graph.all_names()
+
+    # Pass 2: edges.
+    for module, short, tree, lines in parsed:
+        for node in tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            visitor = _FunctionVisitor(names, module_aliases)
+            visitor.visit(node)
+            info = graph.functions[node.name]
+            info.driver_calls |= visitor.driver_calls - {node.name}
+            info.kernel_calls |= visitor.kernel_calls
+            info.references |= visitor.references - {node.name}
+
+    return graph

@@ -1,0 +1,118 @@
+"""Partitioning: reachability from critical roots.
+
+Unchanged in spirit from Microdrivers (paper section 2.4): given the
+driver call graph and the set of *critical root functions* -- interrupt
+handlers, data-path entry points, functions called with spinlocks held
+-- every function reachable from a root must remain in the kernel.
+Everything else may move to user level.
+
+The partition also yields the two entry-point sets:
+
+* **user entry points**: user-level functions invoked from the kernel
+  (driver interface functions moved out, e.g. ``open`` ops); stubs for
+  these transfer control kernel -> user.
+* **kernel entry points**: kernel functions and kernel API that
+  user-level functions call back into; stubs transfer user -> kernel.
+"""
+
+from collections import deque
+
+
+class Partition:
+    def __init__(self, graph, roots, reasons=None):
+        self.graph = graph
+        self.roots = set(roots)
+        self.reasons = dict(reasons or {})
+        self.kernel_funcs = set()
+        self.user_funcs = set()
+        self.user_entry_points = set()
+        self.kernel_entry_points = set()
+        self.kernel_api_from_user = set()
+
+    # -- statistics used by Table 2 ------------------------------------------
+
+    def kernel_loc(self):
+        return sum(self.graph.functions[f].loc for f in self.kernel_funcs)
+
+    def user_loc(self):
+        return sum(self.graph.functions[f].loc for f in self.user_funcs)
+
+    def summary(self):
+        return {
+            "total_funcs": len(self.graph.functions),
+            "total_loc": self.graph.total_loc(),
+            "kernel_funcs": len(self.kernel_funcs),
+            "kernel_loc": self.kernel_loc(),
+            "user_funcs": len(self.user_funcs),
+            "user_loc": self.user_loc(),
+            "user_entry_points": sorted(self.user_entry_points),
+            "kernel_entry_points": sorted(self.kernel_entry_points),
+            "user_fraction": (
+                len(self.user_funcs) / max(1, len(self.graph.functions))
+            ),
+        }
+
+
+def partition_driver(graph, config):
+    """Run the partitioning analysis; returns a :class:`Partition`."""
+    missing = [r for r in config.critical_roots if r not in graph.functions]
+    if missing:
+        raise ValueError("critical roots not found in driver: %r" % missing)
+
+    part = Partition(graph, config.critical_roots,
+                     reasons=config.root_reasons)
+
+    # Reachability: all functions transitively callable from a critical
+    # root must stay in the kernel.  References (function pointers) from
+    # kernel code are conservative potential calls.
+    worklist = deque(config.critical_roots)
+    kernel = set()
+    while worklist:
+        name = worklist.popleft()
+        if name in kernel:
+            continue
+        kernel.add(name)
+        info = graph.functions[name]
+        for callee in info.driver_calls | info.references:
+            if callee not in kernel:
+                worklist.append(callee)
+
+    # Functions the config pins to the kernel (e.g. the ethtool
+    # interrupt-test data race of section 5) and their callees.
+    worklist = deque(config.pinned_kernel)
+    while worklist:
+        name = worklist.popleft()
+        if name in kernel or name not in graph.functions:
+            continue
+        kernel.add(name)
+        info = graph.functions[name]
+        for callee in info.driver_calls | info.references:
+            worklist.append(callee)
+
+    part.kernel_funcs = kernel
+    part.user_funcs = graph.all_names() - kernel
+
+    # User entry points: user functions referenced or called from kernel
+    # functions, plus driver-interface ops named in the config.
+    for name in kernel:
+        info = graph.functions[name]
+        for target in info.driver_calls | info.references:
+            if target in part.user_funcs:
+                part.user_entry_points.add(target)
+    for op in config.interface_ops:
+        if op in part.user_funcs:
+            part.user_entry_points.add(op)
+
+    # Kernel entry points: kernel driver functions called from user
+    # functions, plus every kernel API name user code uses.
+    for name in part.user_funcs:
+        info = graph.functions[name]
+        for target in info.driver_calls:
+            if target in kernel:
+                part.kernel_entry_points.add(target)
+        part.kernel_api_from_user |= info.kernel_calls
+    part.kernel_entry_points |= {
+        "linux." + api for api in sorted(part.kernel_api_from_user)
+    }
+
+    return part

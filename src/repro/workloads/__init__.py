@@ -1,0 +1,45 @@
+"""Workloads: the paper's Table 3 benchmarks in virtual time.
+
+* :mod:`repro.workloads.rigs` -- builders that assemble kernel +
+  device + driver (native or decaf) test rigs for each of the five
+  drivers;
+* :mod:`repro.workloads.netperf` -- TCP/UDP-style send and receive
+  streams for the network drivers;
+* :mod:`repro.workloads.mpg123` -- 256 Kbps MP3 playback for ens1371;
+* :mod:`repro.workloads.tar_usb` -- untar onto the USB flash disk;
+* :mod:`repro.workloads.mouse` -- 30 s of move-and-click input.
+
+Every workload returns a :class:`WorkloadResult` with throughput, CPU
+utilization, and the decaf-invocation/crossing counters Table 3
+reports.
+"""
+
+from .result import WorkloadResult
+from .rigs import (
+    Rig,
+    make_8139too_rig,
+    make_e1000_rig,
+    make_ens1371_rig,
+    make_psmouse_rig,
+    make_uhci_rig,
+)
+from .netperf import netperf_recv, netperf_send, netperf_udp_rr
+from .mpg123 import mpg123_play
+from .tar_usb import tar_to_flash
+from .mouse import move_and_click
+
+__all__ = [
+    "WorkloadResult",
+    "Rig",
+    "make_8139too_rig",
+    "make_e1000_rig",
+    "make_ens1371_rig",
+    "make_uhci_rig",
+    "make_psmouse_rig",
+    "netperf_send",
+    "netperf_recv",
+    "netperf_udp_rr",
+    "mpg123_play",
+    "tar_to_flash",
+    "move_and_click",
+]

@@ -1,0 +1,53 @@
+"""move-and-click: 30 seconds of continuous mouse input (Table 3).
+
+Moves the mouse at its sample rate (100 Hz) with a click every second;
+the driver decodes each packet in interrupt context.  Bandwidth is too
+low to measure (as the paper notes), so the result reports CPU
+utilization and event counts.
+"""
+
+from .result import WorkloadResult
+
+
+def move_and_click(rig, duration_s=30.0):
+    kernel = rig.kernel
+    mouse = rig.device
+    input_devs = kernel.input.devices
+    if not input_devs:
+        raise RuntimeError("no input device registered")
+    input_dev = input_devs[0]
+
+    events = {"count": 0}
+    input_dev.sink = lambda evs: events.__setitem__(
+        "count", events["count"] + len(evs)
+    )
+
+    x0 = rig.crossings()
+    kernel.cpu.start_window()
+    start_ns = kernel.clock.now_ns
+    sample_interval_ns = int(1e9 / max(1, mouse.sample_rate))
+
+    t = 0
+    packets = 0
+    clicks = 0
+    while t < duration_s * 1e9:
+        buttons = 1 if (t // 1_000_000_000) % 2 == 0 else 0
+        if buttons and clicks * 1_000_000_000 <= t:
+            clicks += 1
+        if mouse.move(3, -1, buttons=buttons):
+            packets += 1
+        kernel.run_for_ns(sample_interval_ns)
+        t += sample_interval_ns
+
+    elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    return WorkloadResult(
+        name="move-and-click",
+        duration_s=elapsed_s,
+        packets=packets,
+        cpu_utilization=kernel.cpu.utilization(),
+        init_latency_s=(rig.init_latency_ns or 0) / 1e9,
+        kernel_user_crossings=rig.crossings(),
+        lang_crossings=rig.lang_crossings(),
+        decaf_invocations=rig.crossings() - x0,
+        extra={"input_events": events["count"], "clicks": clicks},
+    )

@@ -1,0 +1,176 @@
+"""netperf: TCP/UDP-style streaming benchmarks (Table 3).
+
+``netperf_send`` saturates the transmit path (flow-controlled by the
+driver's queue state and the link's wire pacing); ``netperf_recv``
+receives from a remote generator at near line rate; ``netperf_udp_rr``
+is the 1-byte-message UDP test the paper ran on E1000.
+
+Durations are virtual seconds.  The paper ran 600 s iterations on real
+hardware; the simulator is deterministic, so a few virtual seconds
+give exact, stable numbers (configurable for longer runs).
+"""
+
+from ..kernel import NETDEV_TX_OK, SkBuff
+from .result import WorkloadResult
+
+
+def _open_dev(rig):
+    dev = rig.netdev()
+    if dev is None:
+        raise RuntimeError("no network device registered")
+    ret = rig.kernel.net.dev_open(dev)
+    if ret != 0:
+        raise RuntimeError("dev_open failed: %d" % ret)
+    # Let autonegotiation and the first watchdog tick finish.
+    rig.kernel.run_for_ms(50)
+    return dev
+
+
+def netperf_send(rig, duration_s=2.0, msg_bytes=1500):
+    """Saturating send; returns throughput and CPU utilization."""
+    kernel = rig.kernel
+    dev = _open_dev(rig)
+    payload = bytes(msg_bytes)
+
+    x0 = rig.crossings()
+    kernel.cpu.start_window()
+    start_ns = kernel.clock.now_ns
+    end_ns = start_ns + int(duration_s * 1e9)
+    sent_packets = 0
+    sent_bytes = 0
+
+    while kernel.clock.now_ns < end_ns:
+        if dev.netif_queue_stopped():
+            t = kernel.events.peek_time()
+            kernel.run_until(min(end_ns, t if t is not None else end_ns))
+            continue
+        rc = kernel.net.dev_queue_xmit(dev, SkBuff(payload))
+        if rc == NETDEV_TX_OK:
+            sent_packets += 1
+            sent_bytes += msg_bytes
+        else:
+            t = kernel.events.peek_time()
+            kernel.run_until(min(end_ns, t if t is not None else end_ns))
+
+    elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    result = WorkloadResult(
+        name="netperf-send",
+        duration_s=elapsed_s,
+        bytes_moved=sent_bytes,
+        packets=sent_packets,
+        throughput_mbps=sent_bytes * 8 / elapsed_s / 1e6,
+        cpu_utilization=kernel.cpu.utilization(),
+        init_latency_s=(rig.init_latency_ns or 0) / 1e9,
+        kernel_user_crossings=rig.crossings(),
+        lang_crossings=rig.lang_crossings(),
+        decaf_invocations=rig.crossings() - x0,
+    )
+    kernel.net.dev_close(dev)
+    return result
+
+
+def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95):
+    """Receive from a remote generator at ~line rate."""
+    from ..devices import TrafficGenerator
+
+    kernel = rig.kernel
+    dev = _open_dev(rig)
+    generator = TrafficGenerator(kernel, rig.link, frame_bytes=msg_bytes,
+                                 utilization=utilization)
+
+    received = {"packets": 0, "bytes": 0}
+
+    def sink(_dev, skb):
+        received["packets"] += 1
+        received["bytes"] += len(skb)
+
+    kernel.net.rx_sink = sink
+    x0 = rig.crossings()
+    kernel.cpu.start_window()
+    start_ns = kernel.clock.now_ns
+    generator.start()
+    kernel.run_for_s(duration_s)
+    generator.stop()
+    elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+
+    result = WorkloadResult(
+        name="netperf-recv",
+        duration_s=elapsed_s,
+        bytes_moved=received["bytes"],
+        packets=received["packets"],
+        throughput_mbps=received["bytes"] * 8 / elapsed_s / 1e6,
+        cpu_utilization=kernel.cpu.utilization(),
+        init_latency_s=(rig.init_latency_ns or 0) / 1e9,
+        kernel_user_crossings=rig.crossings(),
+        lang_crossings=rig.lang_crossings(),
+        decaf_invocations=rig.crossings() - x0,
+    )
+    kernel.net.rx_sink = None
+    kernel.net.dev_close(dev)
+    return result
+
+
+def netperf_udp_rr(rig, duration_s=1.0, msg_bytes=1):
+    """UDP request/response with 1-byte messages (E1000, section 4.2).
+
+    Each round trip sends a tiny frame and receives the echo the link
+    peer reflects back.
+    """
+    kernel = rig.kernel
+    dev = _open_dev(rig)
+
+    # Remote host: echo every received frame back after a short RTT.
+    def echo(frame):
+        kernel.events.schedule_after(
+            30_000, lambda: rig.link.inject(frame), name="udp-echo"
+        )
+
+    rig.link.peer_rx = echo
+
+    responses = {"count": 0}
+
+    def sink(_dev, skb):
+        responses["count"] += 1
+
+    kernel.net.rx_sink = sink
+    # Minimum Ethernet payload still makes a 60-byte frame on the wire.
+    payload = bytes(max(60, msg_bytes))
+
+    x0 = rig.crossings()
+    kernel.cpu.start_window()
+    start_ns = kernel.clock.now_ns
+    end_ns = start_ns + int(duration_s * 1e9)
+    sent = 0
+    while kernel.clock.now_ns < end_ns:
+        before = responses["count"]
+        if kernel.net.dev_queue_xmit(dev, SkBuff(payload)) == NETDEV_TX_OK:
+            sent += 1
+        # Wait for the echo (request/response semantics).
+        while responses["count"] == before:
+            t = kernel.events.peek_time()
+            if t is None or t > end_ns:
+                break
+            kernel.run_until(t)
+        else:
+            continue
+        if responses["count"] == before:
+            break
+
+    elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    result = WorkloadResult(
+        name="netperf-udp-rr",
+        duration_s=elapsed_s,
+        bytes_moved=sent * len(payload),
+        packets=sent,
+        throughput_mbps=responses["count"] / elapsed_s / 1000.0,  # kTPS
+        cpu_utilization=kernel.cpu.utilization(),
+        init_latency_s=(rig.init_latency_ns or 0) / 1e9,
+        kernel_user_crossings=rig.crossings(),
+        lang_crossings=rig.lang_crossings(),
+        decaf_invocations=rig.crossings() - x0,
+        extra={"transactions": responses["count"]},
+    )
+    kernel.net.rx_sink = None
+    rig.link.peer_rx = None
+    kernel.net.dev_close(dev)
+    return result

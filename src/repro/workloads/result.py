@@ -1,0 +1,30 @@
+"""Workload result record."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkloadResult:
+    """What one workload run measured (one Table 3 cell group)."""
+
+    name: str
+    duration_s: float = 0.0
+    bytes_moved: int = 0
+    packets: int = 0
+    throughput_mbps: float = 0.0
+    cpu_utilization: float = 0.0
+    init_latency_s: float = 0.0
+    kernel_user_crossings: int = 0
+    lang_crossings: int = 0
+    decaf_invocations: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def row(self):
+        return {
+            "workload": self.name,
+            "throughput_mbps": round(self.throughput_mbps, 2),
+            "cpu_utilization_pct": round(100 * self.cpu_utilization, 2),
+            "init_latency_s": round(self.init_latency_s, 3),
+            "crossings": self.kernel_user_crossings,
+            "decaf_invocations": self.decaf_invocations,
+        }

@@ -1,0 +1,142 @@
+"""Test rigs: kernel + device + driver, native or decaf.
+
+A :class:`Rig` owns one simulated machine with one device and its
+driver loaded.  ``decaf=True`` loads the split driver; ``decaf=False``
+the legacy kernel-only driver.  The rig exposes the counters Table 3
+needs: insmod latency and, for decaf rigs, the XPC crossing counts and
+decaf-invocation counts.
+"""
+
+from ..devices import (
+    E1000Device,
+    Ens1371Device,
+    EthernetLink,
+    Ps2MouseDevice,
+    Rtl8139Device,
+    UhciDevice,
+    UsbFlashDiskModel,
+)
+from ..kernel import make_kernel
+
+
+class Rig:
+    def __init__(self, name, kernel, device, module, decaf, link=None,
+                 extra=None):
+        self.name = name
+        self.kernel = kernel
+        self.device = device
+        self.module = module
+        self.decaf = decaf
+        self.link = link
+        self.extra = extra or {}
+        self.init_latency_ns = None
+
+    def insmod(self):
+        ret = self.kernel.modules.insmod(self.module)
+        if ret != 0:
+            raise RuntimeError("%s: insmod failed with %d" % (self.name, ret))
+        self.init_latency_ns = self.kernel.modules.last_init_latency_ns
+        return ret
+
+    def rmmod(self, check_leaks=False):
+        self.kernel.modules.rmmod(self.module.name, check_leaks=check_leaks)
+
+    @property
+    def xpc(self):
+        if not self.decaf:
+            return None
+        return self.module.instance.plumbing.xpc
+
+    def crossings(self):
+        return self.xpc.kernel_user_crossings if self.xpc else 0
+
+    def lang_crossings(self):
+        return self.xpc.lang_crossings if self.xpc else 0
+
+    def netdev(self):
+        return self.kernel.net.find("eth0")
+
+
+def make_8139too_rig(decaf=False):
+    kernel = make_kernel()
+    link = EthernetLink(kernel, bits_per_second=100_000_000, name="100M")
+    nic = Rtl8139Device(kernel, link)
+    kernel.pci.add_function(nic.pci)
+    if decaf:
+        from ..drivers.decaf import rtl8139_nucleus
+
+        module = rtl8139_nucleus.make_module()
+    else:
+        from ..drivers.legacy import rtl8139
+
+        module = rtl8139.make_module()
+    return Rig("8139too", kernel, nic, module, decaf, link=link)
+
+
+def make_e1000_rig(decaf=False, options=None):
+    kernel = make_kernel()
+    link = EthernetLink(kernel, bits_per_second=1_000_000_000, name="1G")
+    nic = E1000Device(kernel, link)
+    kernel.pci.add_function(nic.pci)
+    if decaf:
+        from ..drivers.decaf import e1000_nucleus
+
+        module = e1000_nucleus.make_module(options=options)
+    else:
+        from ..drivers.legacy import e1000_main
+
+        module = e1000_main.make_module()
+    return Rig("e1000", kernel, nic, module, decaf, link=link)
+
+
+def make_ens1371_rig(decaf=False):
+    # The decaf sound driver requires the mutex-based sound library
+    # (paper section 3.1.3); the native driver runs on the stock one.
+    kernel = make_kernel(sound_use_mutex=decaf)
+    card = Ens1371Device(kernel)
+    kernel.pci.add_function(card.pci)
+    if decaf:
+        from ..drivers.decaf import ens1371_nucleus
+
+        module = ens1371_nucleus.make_module()
+    else:
+        from ..drivers.legacy import ens1371
+
+        module = ens1371.make_module()
+    return Rig("ens1371", kernel, card, module, decaf)
+
+
+def make_uhci_rig(decaf=False):
+    kernel = make_kernel()
+    controller = UhciDevice(kernel)
+    disk = UsbFlashDiskModel()
+    controller.attach(0, disk)
+    kernel.pci.add_function(controller.pci)
+    hook = lambda port: disk if port == 0 else None  # noqa: E731
+    if decaf:
+        from ..drivers.decaf import uhci_nucleus
+
+        module = uhci_nucleus.make_module(device_model_hook=hook)
+    else:
+        from ..drivers.legacy import uhci_hcd
+
+        module = uhci_hcd.make_module(device_model_hook=hook)
+    return Rig("uhci_hcd", kernel, controller, module, decaf,
+               extra={"disk": disk})
+
+
+def make_psmouse_rig(decaf=False):
+    kernel = make_kernel()
+    port = kernel.input.new_serio_port()
+    mouse = Ps2MouseDevice(kernel)
+    mouse.attach(port)
+    if decaf:
+        from ..drivers.decaf import psmouse_nucleus
+
+        module = psmouse_nucleus.make_module()
+    else:
+        from ..drivers.legacy import psmouse
+
+        module = psmouse.make_module()
+    return Rig("psmouse", kernel, mouse, module, decaf,
+               extra={"port": port})

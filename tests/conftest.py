@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.kernel import make_kernel
+
+
+@pytest.fixture
+def kernel():
+    """A fresh fully-wired simulated kernel."""
+    return make_kernel()
+
+
+@pytest.fixture
+def mutex_kernel():
+    """A kernel with the paper's mutex-based sound library."""
+    return make_kernel(sound_use_mutex=True)
+
+
+def xmit_all(rig, dev, frames):
+    """Send every frame, pumping virtual time when the queue is full."""
+    from repro.kernel import NETDEV_TX_OK, SkBuff
+
+    for frame in frames:
+        for _attempt in range(10_000):
+            if not dev.netif_queue_stopped():
+                if rig.kernel.net.dev_queue_xmit(dev, SkBuff(frame)) == NETDEV_TX_OK:
+                    break
+            nxt = rig.kernel.events.peek_time()
+            if nxt is None:
+                raise AssertionError("queue stuck with no pending events")
+            rig.kernel.run_until(nxt)
+        else:
+            raise AssertionError("could not transmit after 10k attempts")

@@ -1,0 +1,114 @@
+"""C-struct type system."""
+
+import pytest
+
+from repro.core import (
+    Array,
+    CStruct,
+    Exp,
+    I16,
+    I32,
+    Null,
+    Opaque,
+    Ptr,
+    Str,
+    Struct,
+    StructRegistry,
+    U8,
+    U16,
+    U32,
+    U64,
+)
+
+
+class point(CStruct):
+    FIELDS = [("x", I32), ("y", I32)]
+
+
+class wrapper(CStruct):
+    FIELDS = [
+        ("head", Struct(point)),       # first member: same address
+        ("tag", U16),
+        ("tail", Struct(point)),
+        ("name", Str(8)),
+        ("values", Array(U8, 4)),
+        ("next", Ptr("wrapper")),
+        ("secret", Ptr("point"), Opaque()),
+        ("lengths", Ptr(U32), Exp("ETH_ALEN")),
+    ]
+
+
+class TestScalars:
+    def test_sizes(self):
+        assert U8.size == 1 and U16.size == 2 and U32.size == 4 and U64.size == 8
+
+    def test_clamp_unsigned(self):
+        assert U8.clamp(0x1FF) == 0xFF
+        assert U16.clamp(-1) == 0xFFFF
+
+    def test_clamp_signed(self):
+        assert I16.clamp(0x8000) == -0x8000
+        assert I32.clamp(-5) == -5
+
+    def test_xdr_names(self):
+        assert U32.xdr_type() == "unsigned int"
+        assert U64.xdr_type() == "unsigned hyper"
+        assert I32.xdr_type() == "int"
+
+
+class TestLayout:
+    def test_sizeof(self):
+        assert point.sizeof() == 8
+        # head(8) + tag(2) + tail(8) + name(8) + values(4) + 3 pointers(24)
+        assert wrapper.sizeof() == 8 + 2 + 8 + 8 + 4 + 24
+
+    def test_field_offsets_monotonic(self):
+        offsets = [f.offset for f in wrapper.fields()]
+        assert offsets == sorted(offsets)
+
+    def test_defaults(self):
+        w = wrapper()
+        assert w.tag == 0
+        assert w.name == ""
+        assert w.values == [0, 0, 0, 0]
+        assert w.next is None
+        assert isinstance(w.head, point)
+
+    def test_kwargs_constructor(self):
+        p = point(x=1, y=-2)
+        assert (p.x, p.y) == (1, -2)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(AttributeError):
+            point(z=1)
+
+
+class TestAddresses:
+    def test_unique_addresses(self):
+        a, b = point(), point()
+        assert a.c_addr != b.c_addr
+
+    def test_first_member_shares_address(self):
+        """The aliasing the user-level tracker disambiguates: a struct
+        embedded as first member has the outer struct's address."""
+        w = wrapper()
+        assert w.head.c_addr == w.c_addr
+
+    def test_later_member_offset_address(self):
+        w = wrapper()
+        field = wrapper.field("tail")
+        assert w.tail.c_addr == w.c_addr + field.offset
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert StructRegistry.get("point") is point
+
+    def test_ptr_resolution(self):
+        field = wrapper.field("next")
+        assert field.ctype.resolve() is wrapper
+
+    def test_annotations_found(self):
+        assert wrapper.field("secret").annotation(Opaque) is not None
+        assert wrapper.field("lengths").annotation(Exp).expr == "ETH_ALEN"
+        assert wrapper.field("next").annotation(Opaque) is None

@@ -1,0 +1,281 @@
+"""XDR marshaling: selective fields, recursion, identity, properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Array,
+    CStruct,
+    Exp,
+    FieldAccess,
+    I32,
+    MarshalCodec,
+    MarshalError,
+    Opaque,
+    Ptr,
+    Str,
+    Struct,
+    U8,
+    U16,
+    U32,
+    U64,
+)
+from repro.core.marshal import MarshalPlan, TO_KERNEL, TO_USER, TransferContext
+
+
+class m_inner(CStruct):
+    FIELDS = [("count", U32), ("flag", U8)]
+
+
+class m_node(CStruct):
+    FIELDS = [("value", I32), ("next", Ptr("m_node"))]
+
+
+class m_thing(CStruct):
+    FIELDS = [
+        ("a", U32),
+        ("b", I32),
+        ("wide", U64),
+        ("label", Str(16)),
+        ("arr", Array(U16, 3)),
+        ("inner", Struct(m_inner)),
+        ("node", Ptr(m_node)),
+        ("raw", Ptr("m_thing"), Opaque()),
+        ("exp_arr", Ptr(U32), Exp("ETH_ALEN")),
+    ]
+
+
+def roundtrip(obj, struct_cls, plan=None, direction=TO_USER):
+    codec = MarshalCodec(plan)
+    data = codec.encode(obj, struct_cls, direction)
+    return codec.decode(data, struct_cls, direction), codec, data
+
+
+class TestBasicRoundtrip:
+    def test_scalars_and_strings(self):
+        t = m_thing(a=7, b=-9, wide=2**40, label="hello")
+        out, _codec, _data = roundtrip(t, m_thing)
+        assert out is not t
+        assert (out.a, out.b, out.wide, out.label) == (7, -9, 2**40, "hello")
+
+    def test_arrays(self):
+        t = m_thing(arr=[1, 2, 3])
+        out, _c, _d = roundtrip(t, m_thing)
+        assert out.arr == [1, 2, 3]
+
+    def test_embedded_struct(self):
+        t = m_thing()
+        t.inner.count = 42
+        t.inner.flag = 1
+        out, _c, _d = roundtrip(t, m_thing)
+        assert out.inner.count == 42
+        assert out.inner.flag == 1
+        assert out.inner is not t.inner
+
+    def test_null_pointer(self):
+        out, _c, _d = roundtrip(m_thing(), m_thing)
+        assert out.node is None
+
+    def test_linked_structure(self):
+        t = m_thing()
+        t.node = m_node(value=1, next=m_node(value=2))
+        out, _c, _d = roundtrip(t, m_thing)
+        assert out.node.value == 1
+        assert out.node.next.value == 2
+        assert out.node.next.next is None
+
+    def test_exp_array(self):
+        t = m_thing(exp_arr=[10, 20, 30])
+        out, _c, _d = roundtrip(t, m_thing)
+        assert out.exp_arr == [10, 20, 30]
+
+    def test_string_truncated_to_capacity(self):
+        t = m_thing(label="x" * 100)
+        out, _c, _d = roundtrip(t, m_thing)
+        assert out.label == "x" * 16
+
+    def test_type_mismatch_rejected(self):
+        t = m_thing()
+        t.node = m_inner()  # wrong type for the field
+        codec = MarshalCodec()
+        with pytest.raises(MarshalError):
+            codec.encode(t, m_thing, TO_USER)
+
+
+class TestRecursionAndSharing:
+    def test_cycle(self):
+        n = m_node(value=5)
+        n.next = n
+        codec = MarshalCodec()
+        data = codec.encode(n, m_node, TO_USER)
+        out = codec.decode(data, m_node, TO_USER)
+        assert out.next is out
+        assert codec.backrefs == 1
+
+    def test_two_element_cycle(self):
+        a = m_node(value=1)
+        b = m_node(value=2)
+        a.next = b
+        b.next = a
+        codec = MarshalCodec()
+        out = codec.decode(codec.encode(a, m_node, TO_USER), m_node, TO_USER)
+        assert out.next.next is out
+
+    def test_diamond_marshaled_once(self):
+        """Two parameters referencing a third marshal it once (3.2.3)."""
+        shared = m_node(value=99)
+        t1 = m_thing(node=shared)
+        t2 = m_thing(node=shared)
+        codec = MarshalCodec()
+        data = codec.encode_args([(t1, m_thing), (t2, m_thing)], TO_USER)
+        out1, out2 = codec.decode_args(data, [m_thing, m_thing], TO_USER)
+        assert out1.node is out2.node
+        assert codec.backrefs == 1
+
+    def test_pointer_to_embedded_child(self):
+        """A pointer elsewhere in the graph to an embedded struct
+        resolves to the same decoded child object."""
+
+        class holder(CStruct):
+            FIELDS = [("owner", Ptr(m_thing)), ("alias", Ptr(m_inner))]
+
+        t = m_thing()
+        t.inner.count = 5
+        h = holder(owner=t, alias=t.inner)
+        codec = MarshalCodec()
+        out = codec.decode(codec.encode(h, holder, TO_USER), holder, TO_USER)
+        assert out.alias is out.owner.inner
+
+
+class TestSelectiveMarshaling:
+    def plan(self):
+        plan = MarshalPlan()
+        plan.set_access("m_thing", FieldAccess(reads={"a"}, writes={"b"}))
+        return plan
+
+    def test_to_user_copies_reads_and_writes(self):
+        t = m_thing(a=1, b=2, wide=3)
+        codec = MarshalCodec(self.plan())
+        out = codec.decode(codec.encode(t, m_thing, TO_USER), m_thing, TO_USER)
+        assert out.a == 1 and out.b == 2
+        assert out.wide == 0  # not accessed by user code: not copied
+
+    def test_to_kernel_copies_only_writes(self):
+        t = m_thing(a=1, b=2)
+        codec = MarshalCodec(self.plan())
+        out = codec.decode(codec.encode(t, m_thing, TO_KERNEL),
+                           m_thing, TO_KERNEL)
+        assert out.b == 2
+        assert out.a == 0  # read-only for user code: no copy back
+
+    def test_selective_smaller_than_full(self):
+        t = m_thing(a=1, b=2, wide=3, label="x" * 16)
+        full = MarshalCodec().encode(t, m_thing, TO_USER)
+        selective = MarshalCodec(self.plan()).encode(t, m_thing, TO_USER)
+        assert len(selective) < len(full)
+
+
+class TestOpaque:
+    def test_opaque_crosses_as_handle(self):
+        class Ctx(TransferContext):
+            def __init__(self):
+                self.handles = {}
+
+            def handle_of(self, obj):
+                handle = id(obj)
+                self.handles[handle] = obj
+                return handle
+
+            def object_of(self, handle):
+                return self.handles.get(handle)
+
+        ctx = Ctx()
+        secret = m_inner(count=7)
+        t = m_thing(raw=secret)
+        codec = MarshalCodec()
+        data = codec.encode(t, m_thing, TO_USER, ctx=ctx)
+        out = codec.decode(data, m_thing, TO_USER, ctx=ctx)
+        assert out.raw is secret  # restored, never marshaled
+
+
+scalar_values = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestProperties:
+    @given(a=st.integers(0, 2**32 - 1), b=scalar_values,
+           wide=st.integers(0, 2**64 - 1),
+           label=st.text(alphabet=st.characters(codec="ascii",
+                                                exclude_characters="\x00"),
+                         max_size=16),
+           arr=st.lists(st.integers(0, 2**16 - 1), min_size=3, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_preserves_values(self, a, b, wide, label, arr):
+        t = m_thing(a=a, b=b, wide=wide, label=label, arr=arr)
+        out, _c, _d = roundtrip(t, m_thing)
+        assert out.a == a
+        assert out.b == b
+        assert out.wide == wide
+        assert out.label == label
+        assert out.arr == arr
+
+    @given(values=st.lists(scalar_values, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_linked_list(self, values):
+        head = None
+        for v in reversed(values):
+            head = m_node(value=v, next=head)
+        out, codec, _d = roundtrip(head, m_node)
+        got = []
+        cursor = out
+        while cursor is not None:
+            got.append(cursor.value)
+            cursor = cursor.next
+        assert got == values
+
+    @given(fields=st.sets(st.sampled_from(["a", "b", "wide", "label"]),
+                          min_size=0, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_only_planned_fields_cross(self, fields):
+        plan = MarshalPlan()
+        plan.set_access("m_thing", FieldAccess(reads=fields))
+        t = m_thing(a=1, b=2, wide=3, label="abc")
+        codec = MarshalCodec(plan)
+        out = codec.decode(codec.encode(t, m_thing, TO_USER), m_thing, TO_USER)
+        for name, expected in (("a", 1), ("b", 2), ("wide", 3),
+                               ("label", "abc")):
+            if name in fields:
+                assert getattr(out, name) == expected
+            else:
+                default = "" if name == "label" else 0
+                assert getattr(out, name) == default
+
+    @given(data=st.binary(max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_garbage_input_never_crashes_uncontrolled(self, data):
+        codec = MarshalCodec()
+        try:
+            codec.decode(data, m_thing, TO_USER)
+        except (MarshalError, Exception):
+            pass  # must not hang or corrupt interpreter state
+
+
+class TestDeterminism:
+    def test_encode_is_deterministic(self):
+        t = m_thing(a=3, b=-4, wide=5, label="abc", arr=[1, 2, 3])
+        t.node = m_node(value=9)
+        codec = MarshalCodec()
+        assert codec.encode(t, m_thing, TO_USER) == \
+            codec.encode(t, m_thing, TO_USER)
+
+    @given(a=st.integers(0, 2**32 - 1), b=scalar_values)
+    @settings(max_examples=25, deadline=None)
+    def test_twin_of_twin_is_fixed_point(self, a, b):
+        """Marshal(Marshal(x)) == Marshal(x): a second transfer of the
+        twin carries the same bytes (up to the identity header)."""
+        t = m_thing(a=a, b=b)
+        codec = MarshalCodec()
+        twin = codec.decode(codec.encode(t, m_thing, TO_USER),
+                            m_thing, TO_USER)
+        twin2 = codec.decode(codec.encode(twin, m_thing, TO_USER),
+                             m_thing, TO_USER)
+        assert (twin2.a, twin2.b) == (a, b)

@@ -1,0 +1,99 @@
+"""XPC exception safety: a raising callee must not corrupt state."""
+
+import pytest
+
+from repro.core import CStruct, DomainManager, U32, Xpc, XpcChannel
+from repro.core.domains import DECAF, KERNEL
+from repro.drivers.decaf.exceptions import (
+    DriverException,
+    HardwareException,
+    errno_of,
+)
+from repro.drivers.decaf.plumbing import DecafPlumbing
+from repro.core.marshal import MarshalPlan
+
+
+class x_state(CStruct):
+    FIELDS = [("v", U32)]
+
+
+@pytest.fixture
+def channel(kernel):
+    return XpcChannel(Xpc(kernel), DomainManager())
+
+
+class TestXpcExceptionSafety:
+    def test_domain_stack_restored_after_upcall_raise(self, channel):
+        obj = x_state()
+        channel.kernel_tracker.register(obj)
+
+        def boom(twin):
+            raise RuntimeError("user code crashed")
+
+        with pytest.raises(RuntimeError):
+            channel.upcall(boom, args=[(obj, x_state)])
+        assert channel.domains.current == KERNEL
+        assert channel.domains.depth == 1
+
+    def test_domain_stack_restored_after_downcall_raise(self, channel):
+        obj = x_state()
+        channel.kernel_tracker.register(obj)
+        channel.domains.push(DECAF)
+
+        def boom(twin):
+            raise RuntimeError("kernel entry crashed")
+
+        with pytest.raises(RuntimeError):
+            channel.downcall(boom, args=[(obj, x_state)])
+        assert channel.domains.current == DECAF
+        channel.domains.pop(DECAF)
+
+    def test_channel_usable_after_exception(self, channel):
+        obj = x_state(v=1)
+        channel.kernel_tracker.register(obj)
+
+        def boom(twin):
+            twin.v = 99
+            raise RuntimeError("late crash")
+
+        with pytest.raises(RuntimeError):
+            channel.upcall(boom, args=[(obj, x_state)])
+        # Writes before the crash are NOT propagated (no return
+        # marshal), matching RPC semantics.
+        assert obj.v == 1
+        # The channel still works.
+        ret = channel.upcall(lambda twin: twin.v, args=[(obj, x_state)])
+        assert ret == 1
+
+    def test_plumbing_translates_driver_exceptions(self, kernel):
+        plumbing = DecafPlumbing(kernel, "8139too", plan=MarshalPlan())
+
+        def boom():
+            raise HardwareException("dead device", errno=19)
+
+        ret = plumbing.upcall(boom)
+        assert ret == -19
+
+    def test_plumbing_reraises_foreign_exceptions(self, kernel):
+        plumbing = DecafPlumbing(kernel, "8139too", plan=MarshalPlan())
+
+        def boom():
+            raise ValueError("a genuine bug, not a driver error")
+
+        with pytest.raises(ValueError):
+            plumbing.upcall(boom)
+
+    def test_errno_mapping(self):
+        assert errno_of(HardwareException("x", errno=5)) == -5
+        assert errno_of(DriverException("y")) == -5
+        assert errno_of(ValueError()) == -5
+
+    def test_downcall_checked_raises_typed_exception(self, kernel):
+        plumbing = DecafPlumbing(kernel, "8139too", plan=MarshalPlan())
+
+        def failing_kernel_entry():
+            return -12  # -ENOMEM
+
+        with pytest.raises(DriverException) as excinfo:
+            plumbing.downcall_checked(failing_kernel_entry)
+        assert excinfo.value.errno == 12

@@ -1,0 +1,268 @@
+"""E1000 and RTL8139 device models at the register level."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import E1000Device, EthernetLink, Rtl8139Device
+from repro.devices import e1000 as e1000_mod
+from repro.devices import rtl8139 as rtl_mod
+from repro.kernel import make_kernel
+
+
+@pytest.fixture
+def e1000_rig():
+    kernel = make_kernel()
+    link = EthernetLink(kernel)
+    nic = E1000Device(kernel, link)
+    kernel.pci.add_function(nic.pci)
+    kernel.pci.request_regions(nic.pci, "t")
+    return kernel, link, nic
+
+
+class TestE1000Eeprom:
+    def test_checksum_sums_to_baba(self, e1000_rig):
+        _k, _l, nic = e1000_rig
+        assert sum(nic.eeprom) & 0xFFFF == 0xBABA
+
+    def test_mac_in_first_words(self, e1000_rig):
+        _k, _l, nic = e1000_rig
+        mac = nic.mac
+        assert nic.eeprom[0] == mac[0] | (mac[1] << 8)
+        assert nic.eeprom[2] == mac[4] | (mac[5] << 8)
+
+    def test_eerd_read_protocol(self, e1000_rig):
+        kernel, _l, nic = e1000_rig
+        base = nic.pci.resource_start(0)
+        kernel.io.writel((1 << 8) | e1000_mod.EERD_START,
+                         base + e1000_mod.REG_EERD)
+        value = kernel.io.readl(base + e1000_mod.REG_EERD)
+        assert value & e1000_mod.EERD_DONE
+        assert (value >> 16) & 0xFFFF == nic.eeprom[1]
+
+    def test_eeprom_read_takes_time(self, e1000_rig):
+        kernel, _l, nic = e1000_rig
+        base = nic.pci.resource_start(0)
+        t0 = kernel.now_ns()
+        kernel.io.writel(e1000_mod.EERD_START, base + e1000_mod.REG_EERD)
+        assert kernel.now_ns() - t0 >= kernel.costs.eeprom_word_ns
+
+
+class TestE1000Phy:
+    def test_mdic_read_ids(self, e1000_rig):
+        kernel, _l, nic = e1000_rig
+        base = nic.pci.resource_start(0)
+        kernel.io.writel((e1000_mod.PHY_ID1 << 16) | e1000_mod.MDIC_OP_READ,
+                         base + e1000_mod.REG_MDIC)
+        v = kernel.io.readl(base + e1000_mod.REG_MDIC)
+        assert v & e1000_mod.MDIC_READY
+        assert v & 0xFFFF == e1000_mod.M88_PHY_ID1
+
+    def test_mdic_write_readback(self, e1000_rig):
+        kernel, _l, nic = e1000_rig
+        base = nic.pci.resource_start(0)
+        kernel.io.writel((4 << 16) | e1000_mod.MDIC_OP_WRITE | 0x1234,
+                         base + e1000_mod.REG_MDIC)
+        kernel.io.writel((4 << 16) | e1000_mod.MDIC_OP_READ,
+                         base + e1000_mod.REG_MDIC)
+        assert kernel.io.readl(base + e1000_mod.REG_MDIC) & 0xFFFF == 0x1234
+
+    def test_phy_id_matches_m88(self, e1000_rig):
+        _k, _l, nic = e1000_rig
+        phy_id = (nic.phy_regs[2] << 16) | nic.phy_regs[3]
+        assert phy_id & 0xFFFFFFF0 == 0x01410C50
+
+
+class TestE1000Interrupts:
+    def test_icr_read_clears(self, e1000_rig):
+        kernel, _l, nic = e1000_rig
+        base = nic.pci.resource_start(0)
+        nic._assert_irq(0x4)
+        assert kernel.io.readl(base + e1000_mod.REG_ICR) == 0x4
+        assert kernel.io.readl(base + e1000_mod.REG_ICR) == 0
+
+    def test_masked_causes_do_not_fire(self, e1000_rig):
+        kernel, _l, nic = e1000_rig
+        fired = []
+        kernel.irq.request_irq(nic.irq, lambda i, d: fired.append(1) or 1, "t")
+        nic._assert_irq(0x4)  # IMS is 0
+        assert fired == []
+        base = nic.pci.resource_start(0)
+        kernel.io.writel(0x4, base + e1000_mod.REG_IMS)
+        assert fired == [1]
+
+    def test_reset_clears_state(self, e1000_rig):
+        kernel, _l, nic = e1000_rig
+        base = nic.pci.resource_start(0)
+        kernel.io.writel(0xFF, base + e1000_mod.REG_IMS)
+        kernel.io.writel(e1000_mod.CTRL_RST, base + e1000_mod.REG_CTRL)
+        assert nic.regs.get(e1000_mod.REG_IMS, 0) == 0
+        assert nic.resets == 1
+
+    def test_link_up_after_slu(self, e1000_rig):
+        kernel, _l, nic = e1000_rig
+        base = nic.pci.resource_start(0)
+        kernel.io.writel(e1000_mod.CTRL_SLU, base + e1000_mod.REG_CTRL)
+        kernel.run_for_ms(10)
+        status = kernel.io.readl(base + e1000_mod.REG_STATUS)
+        assert status & e1000_mod.STATUS_LU
+
+
+class TestE1000Rings:
+    def _setup_tx(self, kernel, nic, count=8):
+        base = nic.pci.resource_start(0)
+        desc = kernel.memory.dma_alloc_coherent(count * 16)
+        bufs = kernel.memory.dma_alloc_coherent(count * 2048)
+        w = kernel.io.writel
+        w(desc.dma_addr & 0xFFFFFFFF, base + e1000_mod.REG_TDBAL)
+        w(desc.dma_addr >> 32, base + e1000_mod.REG_TDBAH)
+        w(count * 16, base + e1000_mod.REG_TDLEN)
+        w(0, base + e1000_mod.REG_TDH)
+        w(0, base + e1000_mod.REG_TDT)
+        w(e1000_mod.TCTL_EN, base + e1000_mod.REG_TCTL)
+        return base, desc, bufs
+
+    def test_tx_descriptor_processed(self, e1000_rig):
+        kernel, link, nic = e1000_rig
+        sent = []
+        link.peer_rx = lambda f: sent.append(f)
+        base, desc, bufs = self._setup_tx(kernel, nic)
+        frame = b"\xAA" * 100
+        bufs.data[0:100] = frame
+        struct.pack_into("<QHBBBBH", desc.data, 0, bufs.dma_addr, 100, 0,
+                         e1000_mod.TXD_CMD_EOP | e1000_mod.TXD_CMD_RS,
+                         0, 0, 0)
+        kernel.io.writel(1, base + e1000_mod.REG_TDT)
+        kernel.run_for_ms(1)
+        assert sent == [frame]
+        assert desc.data[12] & e1000_mod.TXD_STAT_DD
+
+    def test_tx_completion_paced_by_wire(self, e1000_rig):
+        """Completion (DD) lands at wire time, not instantly."""
+        kernel, link, nic = e1000_rig
+        base, desc, bufs = self._setup_tx(kernel, nic)
+        struct.pack_into("<QHBBBBH", desc.data, 0, bufs.dma_addr, 1500, 0,
+                         e1000_mod.TXD_CMD_EOP | e1000_mod.TXD_CMD_RS,
+                         0, 0, 0)
+        kernel.io.writel(1, base + e1000_mod.REG_TDT)
+        assert not desc.data[12] & e1000_mod.TXD_STAT_DD
+        kernel.run_for_ns(link.frame_time_ns(1500) + 1000)
+        assert desc.data[12] & e1000_mod.TXD_STAT_DD
+
+    def test_rx_delivery(self, e1000_rig):
+        kernel, link, nic = e1000_rig
+        base = nic.pci.resource_start(0)
+        count = 8
+        desc = kernel.memory.dma_alloc_coherent(count * 16)
+        bufs = kernel.memory.dma_alloc_coherent(count * 2048)
+        w = kernel.io.writel
+        for i in range(count):
+            struct.pack_into("<Q", desc.data, i * 16,
+                             bufs.dma_addr + i * 2048)
+        w(desc.dma_addr & 0xFFFFFFFF, base + e1000_mod.REG_RDBAL)
+        w(0, base + e1000_mod.REG_RDBAH)
+        w(count * 16, base + e1000_mod.REG_RDLEN)
+        w(0, base + e1000_mod.REG_RDH)
+        w(count - 1, base + e1000_mod.REG_RDT)
+        w(e1000_mod.RCTL_EN, base + e1000_mod.REG_RCTL)
+        link.inject(b"\x55" * 300)
+        status = desc.data[12]
+        assert status & e1000_mod.RXD_STAT_DD
+        assert bytes(bufs.data[0:300]) == b"\x55" * 300
+
+
+@pytest.fixture
+def rtl_rig():
+    kernel = make_kernel()
+    link = EthernetLink(kernel, bits_per_second=100_000_000)
+    nic = Rtl8139Device(kernel, link)
+    kernel.pci.add_function(nic.pci)
+    kernel.pci.request_regions(nic.pci, "t")
+    return kernel, link, nic
+
+
+class TestRtl8139:
+    def test_mac_in_idr(self, rtl_rig):
+        kernel, _l, nic = rtl_rig
+        base = nic.pci.resource_start(0)
+        mac = bytes(kernel.io.inb(base + i) for i in range(6))
+        assert mac == nic.mac
+
+    def test_reset_preserves_mac(self, rtl_rig):
+        kernel, _l, nic = rtl_rig
+        base = nic.pci.resource_start(0)
+        kernel.io.outb(rtl_mod.CR_RST, base + rtl_mod.CR)
+        mac = bytes(kernel.io.inb(base + i) for i in range(6))
+        assert mac == nic.mac
+        assert nic.resets == 1
+
+    def test_isr_write_one_to_clear(self, rtl_rig):
+        kernel, _l, nic = rtl_rig
+        base = nic.pci.resource_start(0)
+        nic._assert_irq(rtl_mod.ISR_ROK | rtl_mod.ISR_TOK)
+        assert kernel.io.inw(base + rtl_mod.ISR) == 0x5
+        kernel.io.outw(rtl_mod.ISR_ROK, base + rtl_mod.ISR)
+        assert kernel.io.inw(base + rtl_mod.ISR) == rtl_mod.ISR_TOK
+
+    def test_rx_ring_wraparound(self, rtl_rig):
+        """Frames near the end of the 32K ring wrap to the start."""
+        kernel, link, nic = rtl_rig
+        base = nic.pci.resource_start(0)
+        ring = kernel.memory.dma_alloc_coherent(rtl_mod.RX_RING_SIZE + 16)
+        kernel.io.outl(ring.dma_addr, base + rtl_mod.RBSTART)
+        kernel.io.outb(rtl_mod.CR_RE, base + rtl_mod.CR)
+        # Force the write pointer near the end of the ring.
+        nic._rx_write_off = rtl_mod.RX_RING_SIZE - 10
+        nic._rx_read_off = rtl_mod.RX_RING_SIZE - 10
+        frame = bytes(range(64))
+        link.inject(frame)
+        # Header is 4 bytes at offset SIZE-10; data wraps around.
+        start = rtl_mod.RX_RING_SIZE - 10
+        status, size = struct.unpack_from("<HH", ring.data, start)
+        assert status & 0x1
+        assert size == 64 + 4
+        got = bytes(ring.data[(start + 4 + i) % rtl_mod.RX_RING_SIZE]
+                    for i in range(64))
+        assert got == frame
+
+    def test_overflow_sets_rxovw(self, rtl_rig):
+        kernel, link, nic = rtl_rig
+        base = nic.pci.resource_start(0)
+        ring = kernel.memory.dma_alloc_coherent(rtl_mod.RX_RING_SIZE + 16)
+        kernel.io.outl(ring.dma_addr, base + rtl_mod.RBSTART)
+        kernel.io.outb(rtl_mod.CR_RE, base + rtl_mod.CR)
+        # Never advance CAPR: ring eventually overflows.
+        for _ in range(40):
+            link.inject(bytes(1500))
+        assert nic.rx_overflows > 0
+        assert kernel.io.inw(base + rtl_mod.ISR) & rtl_mod.ISR_RXOVW
+
+    @given(sizes=st.lists(st.integers(min_value=20, max_value=1500),
+                          min_size=1, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_property_rx_frames_intact_in_order(self, sizes):
+        kernel = make_kernel()
+        link = EthernetLink(kernel, bits_per_second=100_000_000)
+        nic = Rtl8139Device(kernel, link)
+        kernel.pci.add_function(nic.pci)
+        kernel.pci.request_regions(nic.pci, "t")
+        base = nic.pci.resource_start(0)
+        ring = kernel.memory.dma_alloc_coherent(rtl_mod.RX_RING_SIZE + 16)
+        kernel.io.outl(ring.dma_addr, base + rtl_mod.RBSTART)
+        kernel.io.outb(rtl_mod.CR_RE, base + rtl_mod.CR)
+        frames = [bytes([i & 0xFF]) * n for i, n in enumerate(sizes)]
+        for f in frames:
+            link.inject(f)
+        # Walk the ring like the driver does.
+        cur = 0
+        got = []
+        for _ in frames:
+            status, size = struct.unpack_from(
+                "<HH", ring.data, cur % rtl_mod.RX_RING_SIZE)
+            assert status & 0x1
+            data = bytes(ring.data[(cur + 4 + i) % rtl_mod.RX_RING_SIZE]
+                         for i in range(size - 4))
+            got.append(data)
+            cur = (cur + 4 + size + 3) & ~3
+        assert got == frames

@@ -1,0 +1,54 @@
+"""Clean unload: every driver generation frees everything it took."""
+
+import pytest
+
+from repro.workloads import (
+    make_8139too_rig,
+    make_e1000_rig,
+    make_ens1371_rig,
+    make_psmouse_rig,
+    make_uhci_rig,
+)
+
+ALL_RIGS = [
+    ("8139too", make_8139too_rig),
+    ("e1000", make_e1000_rig),
+    ("ens1371", make_ens1371_rig),
+    ("uhci_hcd", make_uhci_rig),
+    ("psmouse", make_psmouse_rig),
+]
+
+
+@pytest.mark.parametrize("name,make_rig", ALL_RIGS,
+                         ids=[n for n, _ in ALL_RIGS])
+@pytest.mark.parametrize("decaf", [False, True], ids=["native", "decaf"])
+def test_load_use_unload_leaves_no_memory(name, make_rig, decaf):
+    rig = make_rig(decaf=decaf)
+    rig.insmod()
+    kernel = rig.kernel
+
+    dev = kernel.net.find("eth0")
+    if dev is not None:
+        assert kernel.net.dev_open(dev) == 0
+        kernel.run_for_ms(60)
+        assert kernel.net.dev_close(dev) == 0
+
+    rig.rmmod(check_leaks=True)  # raises MemoryLeakError on leaks
+
+    # Subsystem registrations are gone too.
+    assert kernel.net.find("eth0") is None
+    assert kernel.sound.cards == []
+    assert kernel.usb.devices == []
+    assert kernel.input.devices == []
+
+
+@pytest.mark.parametrize("decaf", [False, True], ids=["native", "decaf"])
+def test_reload_after_unload(decaf):
+    """insmod -> rmmod -> insmod works (fresh driver-global state)."""
+    rig = make_e1000_rig(decaf=decaf)
+    rig.insmod()
+    rig.rmmod(check_leaks=True)
+    rig2 = make_e1000_rig(decaf=decaf)
+    rig2.insmod()
+    dev = rig2.netdev()
+    assert rig2.kernel.net.dev_open(dev) == 0

@@ -1,0 +1,165 @@
+"""Execution-context rules and locking primitives."""
+
+import pytest
+
+from repro.kernel import (
+    DeadlockError,
+    Mutex,
+    Semaphore,
+    SleepInAtomicError,
+    SpinLock,
+)
+
+
+class TestContextRules:
+    def test_process_context_may_sleep(self, kernel):
+        kernel.context.might_sleep()  # no raise
+
+    def test_spinlock_makes_context_atomic(self, kernel):
+        lock = SpinLock(kernel, "t")
+        lock.lock()
+        assert kernel.context.in_atomic()
+        with pytest.raises(SleepInAtomicError):
+            kernel.msleep(1)
+        lock.unlock()
+        assert not kernel.context.in_atomic()
+
+    def test_irq_context_forbids_sleep(self, kernel):
+        caught = []
+
+        def handler(irq, dev_id):
+            try:
+                kernel.msleep(1)
+            except SleepInAtomicError:
+                caught.append(True)
+            return 1
+
+        kernel.irq.request_irq(5, handler, "t")
+        kernel.irq.raise_irq(5)
+        assert caught == [True]
+
+    def test_udelay_legal_in_atomic(self, kernel):
+        lock = SpinLock(kernel, "t")
+        with lock:
+            kernel.udelay(10)  # busy-wait is fine
+
+    def test_gfp_kernel_forbidden_in_atomic(self, kernel):
+        lock = SpinLock(kernel, "t")
+        with lock:
+            with pytest.raises(SleepInAtomicError):
+                kernel.memory.kmalloc(64)
+
+    def test_gfp_atomic_allowed_in_atomic(self, kernel):
+        from repro.kernel import GFP_ATOMIC
+
+        lock = SpinLock(kernel, "t")
+        with lock:
+            alloc = kernel.memory.kmalloc(64, GFP_ATOMIC)
+        assert alloc is not None
+        kernel.memory.kfree(alloc)
+
+    def test_context_name_reporting(self, kernel):
+        assert kernel.context.current_context() == "process"
+        kernel.context.enter_irq()
+        assert kernel.context.current_context() == "hardirq"
+        kernel.context.exit_irq()
+        kernel.context.enter_softirq()
+        assert kernel.context.current_context() == "softirq"
+        kernel.context.exit_softirq()
+
+
+class TestSpinLock:
+    def test_lock_unlock(self, kernel):
+        lock = SpinLock(kernel, "t")
+        lock.lock()
+        assert lock.held
+        lock.unlock()
+        assert not lock.held
+
+    def test_self_deadlock_detected(self, kernel):
+        lock = SpinLock(kernel, "t")
+        lock.lock()
+        with pytest.raises(DeadlockError):
+            lock.lock()
+
+    def test_unlock_unheld_raises(self, kernel):
+        lock = SpinLock(kernel, "t")
+        with pytest.raises(DeadlockError):
+            lock.unlock()
+
+    def test_irqsave_masks_interrupts(self, kernel):
+        fired = []
+        kernel.irq.request_irq(3, lambda i, d: fired.append(1) or 1, "t")
+        lock = SpinLock(kernel, "t")
+        lock.lock_irqsave()
+        kernel.irq.raise_irq(3)
+        assert fired == []  # latched, not delivered
+        lock.unlock_irqrestore()
+        assert fired == [1]  # delivered on unmask
+
+    def test_context_manager(self, kernel):
+        lock = SpinLock(kernel, "t")
+        with lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_acquisition_count(self, kernel):
+        lock = SpinLock(kernel, "t")
+        for _ in range(3):
+            with lock:
+                pass
+        assert lock.acquisitions == 3
+
+
+class TestMutex:
+    def test_basic(self, kernel):
+        m = Mutex(kernel, "t")
+        with m:
+            assert m.held
+        assert not m.held
+
+    def test_acquire_in_atomic_rejected(self, kernel):
+        m = Mutex(kernel, "t")
+        spin = SpinLock(kernel, "s")
+        with spin:
+            with pytest.raises(SleepInAtomicError):
+                m.lock()
+
+    def test_blocking_allowed_while_held(self, kernel):
+        m = Mutex(kernel, "t")
+        with m:
+            kernel.msleep(1)  # legal: mutexes don't make context atomic
+
+    def test_recursive_detected(self, kernel):
+        m = Mutex(kernel, "t")
+        m.lock()
+        with pytest.raises(DeadlockError):
+            m.lock()
+
+
+class TestSemaphore:
+    def test_down_up(self, kernel):
+        sem = Semaphore(kernel, count=2)
+        sem.down()
+        sem.down()
+        assert sem.count == 0
+        sem.up()
+        assert sem.count == 1
+
+    def test_down_at_zero_raises(self, kernel):
+        sem = Semaphore(kernel, count=1)
+        sem.down()
+        with pytest.raises(DeadlockError):
+            sem.down()
+
+    def test_trylock(self, kernel):
+        sem = Semaphore(kernel, count=1)
+        assert sem.down_trylock() is True
+        assert sem.down_trylock() is False
+
+    def test_down_sleeps_so_atomic_rejected(self, kernel):
+        sem = Semaphore(kernel, count=1)
+        spin = SpinLock(kernel, "s")
+        with spin:
+            with pytest.raises(SleepInAtomicError):
+                sem.down()

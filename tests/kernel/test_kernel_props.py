@@ -1,0 +1,78 @@
+"""Property-based invariants of the simulated kernel."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import make_kernel
+
+
+op = st.one_of(
+    st.tuples(st.just("consume_busy"), st.integers(0, 10_000_000)),
+    st.tuples(st.just("consume_idle"), st.integers(0, 10_000_000)),
+    st.tuples(st.just("msleep"), st.integers(0, 5)),
+    st.tuples(st.just("udelay"), st.integers(0, 500)),
+    st.tuples(st.just("schedule"), st.integers(0, 5_000_000)),
+    st.tuples(st.just("run_for"), st.integers(0, 20_000_000)),
+)
+
+
+class TestKernelInvariants:
+    @given(ops=st.lists(op, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_clock_monotonic_and_busy_bounded(self, ops):
+        kernel = make_kernel()
+        kernel.cpu.start_window()
+        fired = []
+        last = kernel.now_ns()
+        for kind, arg in ops:
+            if kind == "consume_busy":
+                kernel.consume(arg, busy=True)
+            elif kind == "consume_idle":
+                kernel.consume(arg, busy=False)
+            elif kind == "msleep":
+                kernel.msleep(arg)
+            elif kind == "udelay":
+                kernel.udelay(arg)
+            elif kind == "schedule":
+                kernel.events.schedule_after(
+                    arg, lambda: fired.append(kernel.now_ns()))
+            elif kind == "run_for":
+                kernel.run_for_ns(arg)
+            now = kernel.now_ns()
+            assert now >= last
+            last = now
+        # Busy time never exceeds elapsed time.
+        assert kernel.cpu.window_busy_ns() <= max(
+            kernel.cpu.window_elapsed_ns(), kernel.cpu.window_busy_ns())
+        assert kernel.cpu.utilization() <= 1.0
+        # Events fired in nondecreasing timestamp order.
+        assert fired == sorted(fired)
+
+    @given(delays=st.lists(st.integers(0, 1_000_000), min_size=1,
+                           max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_all_scheduled_events_eventually_fire(self, delays):
+        kernel = make_kernel()
+        fired = []
+        for i, delay in enumerate(delays):
+            kernel.events.schedule_after(delay,
+                                         lambda i=i: fired.append(i))
+        kernel.run_for_ns(max(delays) + 1)
+        assert sorted(fired) == list(range(len(delays)))
+
+    @given(depth=st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_nested_sleeps_terminate(self, depth):
+        kernel = make_kernel()
+        trace = []
+
+        def sleeper(level):
+            if level == 0:
+                trace.append(kernel.now_ns())
+                return
+            kernel.events.schedule_after(
+                1000, lambda: sleeper(level - 1))
+            kernel.msleep(1)
+
+        sleeper(depth)
+        kernel.run_for_ms(depth * 2 + 5)
+        assert trace  # innermost eventually ran

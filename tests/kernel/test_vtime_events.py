@@ -1,0 +1,170 @@
+"""Virtual clock, CPU accounting, and the event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel import make_kernel, SimulationError
+from repro.kernel.events import EventQueue
+from repro.kernel.vtime import CpuAccounting, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.now_ns == 0
+        assert clock.now_s == 0.0
+
+    def test_advances(self):
+        clock = VirtualClock()
+        clock._set(1_500_000)
+        assert clock.now_ns == 1_500_000
+        assert clock.now_ms == 1.5
+
+    def test_never_goes_backwards(self):
+        clock = VirtualClock()
+        clock._set(100)
+        with pytest.raises(SimulationError):
+            clock._set(99)
+
+    def test_unit_properties_consistent(self):
+        clock = VirtualClock()
+        clock._set(2_000_000_000)
+        assert clock.now_s == 2.0
+        assert clock.now_ms == 2000.0
+        assert clock.now_us == 2_000_000.0
+
+
+class TestCpuAccounting:
+    def test_charge_accumulates(self):
+        clock = VirtualClock()
+        cpu = CpuAccounting(clock)
+        cpu.charge(100, "a")
+        cpu.charge(50, "b")
+        assert cpu.busy_ns == 150
+        assert cpu.category_ns("a") == 100
+        assert cpu.category_ns("b") == 50
+
+    def test_negative_charge_rejected(self):
+        cpu = CpuAccounting(VirtualClock())
+        with pytest.raises(SimulationError):
+            cpu.charge(-1)
+
+    def test_utilization_window(self):
+        kernel = make_kernel()
+        kernel.cpu.start_window()
+        kernel.consume(600, busy=True)
+        kernel.consume(400, busy=False)
+        assert kernel.cpu.window_elapsed_ns() == 1000
+        assert kernel.cpu.utilization() == pytest.approx(0.6)
+
+    def test_empty_window_is_zero(self):
+        kernel = make_kernel()
+        kernel.cpu.start_window()
+        assert kernel.cpu.utilization() == 0.0
+
+    def test_utilization_capped_at_one(self):
+        kernel = make_kernel()
+        kernel.cpu.start_window()
+        kernel.cpu.charge(10_000)  # busy without advancing time
+        kernel.run_for_ns(100)
+        assert kernel.cpu.utilization() == 1.0
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self, kernel):
+        seen = []
+        kernel.events.schedule_at(300, lambda: seen.append(3))
+        kernel.events.schedule_at(100, lambda: seen.append(1))
+        kernel.events.schedule_at(200, lambda: seen.append(2))
+        kernel.run_until(1000)
+        assert seen == [1, 2, 3]
+
+    def test_equal_times_fifo(self, kernel):
+        seen = []
+        for i in range(10):
+            kernel.events.schedule_at(500, lambda i=i: seen.append(i))
+        kernel.run_until(500)
+        assert seen == list(range(10))
+
+    def test_cancelled_events_do_not_fire(self, kernel):
+        seen = []
+        ev = kernel.events.schedule_at(100, lambda: seen.append("x"))
+        ev.cancel()
+        kernel.run_until(1000)
+        assert seen == []
+
+    def test_past_deadline_runs_now(self, kernel):
+        kernel.run_until(1000)
+        seen = []
+        kernel.events.schedule_at(1, lambda: seen.append(kernel.now_ns()))
+        kernel.run_until(1000)  # no time passes
+        assert seen == [1000]
+
+    def test_event_scheduling_event(self, kernel):
+        seen = []
+
+        def first():
+            kernel.events.schedule_after(50, lambda: seen.append("second"))
+
+        kernel.events.schedule_at(100, first)
+        kernel.run_until(200)
+        assert seen == ["second"]
+
+    def test_clock_set_to_event_time(self, kernel):
+        times = []
+        kernel.events.schedule_at(123, lambda: times.append(kernel.now_ns()))
+        kernel.run_until(1000)
+        assert times == [123]
+        assert kernel.now_ns() == 1000
+
+    def test_nested_run_until(self, kernel):
+        """An event handler may sleep, nesting the event loop."""
+        seen = []
+
+        def sleeper():
+            kernel.msleep(1)
+            seen.append(kernel.now_ns())
+
+        kernel.events.schedule_at(1000, sleeper)
+        kernel.events.schedule_at(500_000, lambda: seen.append("mid"))
+        kernel.run_for_ms(10)
+        assert seen == ["mid", 1_001_000]
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                    max_size=50))
+    def test_property_any_schedule_fires_sorted(self, times):
+        clock = VirtualClock()
+        queue = EventQueue(clock)
+        fired = []
+        for t in times:
+            queue.schedule_at(t, lambda t=t: fired.append(t))
+        while True:
+            nxt = queue.peek_time()
+            if nxt is None:
+                break
+            ev = queue.pop_due(nxt)
+            clock._set(max(clock.now_ns, ev.time_ns))
+            ev.callback()
+        assert fired == sorted(times)
+
+
+class TestDelays:
+    def test_msleep_advances_clock(self, kernel):
+        kernel.msleep(5)
+        assert kernel.clock.now_ms == 5.0
+
+    def test_udelay_charges_cpu(self, kernel):
+        kernel.cpu.start_window()
+        kernel.udelay(100)
+        assert kernel.cpu.window_busy_ns() == 100_000
+
+    def test_msleep_is_idle_time(self, kernel):
+        kernel.cpu.start_window()
+        kernel.msleep(1)
+        assert kernel.cpu.window_busy_ns() == 0
+
+    def test_consume_processes_due_events(self, kernel):
+        seen = []
+        kernel.events.schedule_after(500, lambda: seen.append(1))
+        kernel.consume(1000)
+        assert seen == [1]

@@ -1,0 +1,136 @@
+"""Fault injection: error paths unwind correctly in both stacks.
+
+The paper's motivation is that error paths are where driver bugs live;
+these tests force allocation and hardware failures during
+initialization and check both driver generations clean up.
+"""
+
+import pytest
+
+from repro.workloads import make_8139too_rig, make_e1000_rig
+
+
+class TestAllocFailuresNative:
+    def test_rtl8139_open_unwinds_on_ring_alloc_failure(self):
+        rig = make_8139too_rig()
+        rig.insmod()
+        dev = rig.netdev()
+        used_before = rig.kernel.memory.used_bytes
+        rig.kernel.memory.fail_next = 1
+        assert rig.kernel.net.dev_open(dev) != 0
+        assert rig.kernel.memory.used_bytes == used_before  # no leak
+        # Recovers on retry.
+        assert rig.kernel.net.dev_open(dev) == 0
+
+    def test_e1000_open_unwinds_on_rx_alloc_failure(self):
+        rig = make_e1000_rig()
+        rig.insmod()
+        dev = rig.netdev()
+        used_before = rig.kernel.memory.used_bytes
+        # First alloc (tx desc) succeeds; third (rx desc) fails.
+        rig.kernel.memory.fail_next = 0
+        adapter = dev.priv
+
+        from repro.drivers.legacy import e1000_main
+
+        # Fail the rx descriptor allocation specifically.
+        orig = e1000_main.e1000_setup_rx_resources
+
+        def failing(adapter_, rx_ring):
+            rig.kernel.memory.fail_next = 1
+            try:
+                return orig(adapter_, rx_ring)
+            finally:
+                rig.kernel.memory.fail_next = 0
+
+        e1000_main.e1000_setup_rx_resources = failing
+        try:
+            assert rig.kernel.net.dev_open(dev) != 0
+        finally:
+            e1000_main.e1000_setup_rx_resources = orig
+        assert rig.kernel.memory.used_bytes == used_before
+        assert rig.kernel.net.dev_open(dev) == 0
+
+
+class TestAllocFailuresDecaf:
+    def test_decaf_open_figure4_unwind(self):
+        """Figure 4's nested handlers: rx-resource failure frees the
+        already-allocated tx resources and resets the chip."""
+        rig = make_e1000_rig(decaf=True)
+        rig.insmod()
+        dev = rig.netdev()
+        used_before = rig.kernel.memory.used_bytes
+        nucleus = rig.module.instance
+
+        orig = nucleus.k_setup_rx_resources
+
+        def failing(adapter):
+            rig.kernel.memory.fail_next = 1
+            try:
+                return orig(adapter)
+            finally:
+                rig.kernel.memory.fail_next = 0
+
+        nucleus.k_setup_rx_resources = failing
+        try:
+            ret = rig.kernel.net.dev_open(dev)
+        finally:
+            nucleus.k_setup_rx_resources = orig
+        assert ret < 0  # exception crossed back as errno
+        assert rig.kernel.memory.used_bytes == used_before
+        assert rig.kernel.net.dev_open(dev) == 0
+
+    def test_decaf_probe_failure_leaves_no_netdev(self):
+        rig = make_e1000_rig(decaf=True)
+        rig.device.eeprom[5] ^= 0xFFFF  # checksum broken
+        assert rig.kernel.modules.insmod(rig.module) != 0
+        assert rig.kernel.net.find("eth0") is None
+
+    def test_decaf_irq_failure_unwinds(self):
+        rig = make_8139too_rig(decaf=True)
+        # Occupy the NIC's irq line so request_irq fails.
+        rig.kernel.irq.request_irq(rig.device.irq,
+                                   lambda i, d: 1, "squatter")
+        ret = rig.kernel.modules.insmod(rig.module)
+        assert ret == 0  # probe itself needs no irq
+        dev = rig.netdev()
+        used_before = rig.kernel.memory.used_bytes
+        assert rig.kernel.net.dev_open(dev) != 0
+        assert rig.kernel.memory.used_bytes == used_before
+
+
+class TestHardwareFaults:
+    def test_e1000_phy_timeout_native_swallowed_decaf_loud(self):
+        """A PHY that never answers: the legacy probe *still succeeds*
+        (init_hw's error is dropped at e1000_reset, as in 2.6.18);
+        the decaf driver's PhyException fails the probe."""
+        results = {}
+        for decaf in (False, True):
+            rig = make_e1000_rig(decaf=decaf)
+
+            def dead_mdic(value, rig=rig):
+                rig.device.regs[0x20] = 0  # never READY
+
+            rig.device._write_mdic = dead_mdic
+            results[decaf] = rig.kernel.modules.insmod(rig.module)
+        assert results[False] == 0   # silent success (the bug class)
+        assert results[True] != 0    # checked exception made it loud
+
+    def test_legacy_swallows_init_hw_error_decaf_does_not(self):
+        """The reproduction of the paper's core claim, caught live in
+        this codebase during development: e1000_reset ignores
+        e1000_init_hw's return (printk only), so a PHY failure during
+        reset passes silently in the legacy driver; the decaf driver's
+        exception propagates and probe fails loudly."""
+        def break_phy(rig):
+            # Valid EEPROM, but a PHY that answers with an unknown ID.
+            rig.device.phy_regs[2] = 0x1234
+            rig.device.phy_regs[3] = 0x5678
+
+        legacy = make_e1000_rig(decaf=False)
+        break_phy(legacy)
+        assert legacy.kernel.modules.insmod(legacy.module) == 0  # silent!
+
+        decaf = make_e1000_rig(decaf=True)
+        break_phy(decaf)
+        assert decaf.kernel.modules.insmod(decaf.module) != 0  # loud.
