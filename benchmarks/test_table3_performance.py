@@ -113,13 +113,14 @@ def test_table3_performance(benchmark, table_printer):
             paper[5], "%.2f" % native.init_latency_s,
             paper[6], "%.2f" % decaf.init_latency_s,
             paper[7], "%d" % decaf.kernel_user_crossings,
+            "%d/%d" % (decaf.deferred_calls, decaf.deferred_flushes),
         ))
     table_printer(
         "Table 3: workload performance (paper vs reproduction; "
-        "p=paper, r=reproduction)",
+        "p=paper, r=reproduction; Defer = notifications/batches)",
         ["Driver", "Workload", "Rel(p)", "Rel(r)", "CPUn(p)", "CPUn(r)",
          "CPUd(p)", "CPUd(r)", "Init-n(p)", "Init-n(r)", "Init-d(p)",
-         "Init-d(r)", "Cross(p)", "Cross(r)"],
+         "Init-d(r)", "Cross(p)", "Cross(r)", "Defer(r)"],
         rows,
     )
 

@@ -37,7 +37,16 @@ from .cstruct import (
     U64,
 )
 from .domains import DECAF, DRIVER_LIB, KERNEL, DomainManager
-from .marshal import FieldAccess, MarshalCodec, MarshalError
+from .marshal import (
+    FieldAccess,
+    MarshalCodec,
+    MarshalError,
+    MarshalPlan,
+    TO_KERNEL,
+    TO_USER,
+    TypeIds,
+    TypeRegistry,
+)
 from .objtracker import KernelObjectTracker, UserObjectTracker
 from .xpc import Xpc, XpcChannel
 from .combolock import ComboLock
@@ -68,6 +77,11 @@ __all__ = [
     "FieldAccess",
     "MarshalCodec",
     "MarshalError",
+    "MarshalPlan",
+    "TO_KERNEL",
+    "TO_USER",
+    "TypeIds",
+    "TypeRegistry",
     "KernelObjectTracker",
     "UserObjectTracker",
     "Xpc",

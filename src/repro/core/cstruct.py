@@ -44,16 +44,26 @@ class CType:
         }[("i" if self.signed else "u", self.size)]
 
     def clamp(self, value):
-        bits = self.size * 8
-        mask = (1 << bits) - 1
-        value &= mask
-        if self.signed and value >= (1 << (bits - 1)):
-            value -= 1 << bits
+        value &= self._mask
+        if self.signed and value >= self._sign_threshold:
+            value -= self._wrap
         return value
 
 
+# Default mask set for the 4-byte base CType.
+CType._mask = (1 << 32) - 1
+CType._sign_threshold = 1 << 31
+CType._wrap = 1 << 32
+
+
 def _scalar(type_name, size, signed):
-    cls = type(type_name, (CType,), {"name": type_name, "size": size, "signed": signed})
+    bits = size * 8
+    cls = type(type_name, (CType,), {
+        "name": type_name, "size": size, "signed": signed,
+        "_mask": (1 << bits) - 1,
+        "_sign_threshold": 1 << (bits - 1),
+        "_wrap": 1 << bits,
+    })
     return cls()
 
 
@@ -270,6 +280,20 @@ class CStructMeta(type):
         cls._fields = tuple(fields)
         cls._size = offset
         cls._fields_by_name = {f.name: f for f in fields}
+        # Instance-construction template: defaults that are immutable
+        # (scalars, strings, NULL pointers) are shared via one dict
+        # update; only embedded structs and arrays need a fresh value
+        # per instance.  Twin allocation sits on the XPC decode hot
+        # path, so __init__ avoids per-field default()/setattr calls.
+        simple = {}
+        per_instance = []
+        for f in fields:
+            if isinstance(f.ctype, (Struct, Array)):
+                per_instance.append(f)
+            else:
+                simple[f.name] = f.ctype.default()
+        cls._simple_defaults = simple
+        cls._per_instance_fields = tuple(per_instance)
         if raw_fields is not None:
             StructRegistry.register(cls)
         return cls
@@ -289,17 +313,25 @@ class CStruct(metaclass=CStructMeta):
 
     def __init__(self, **kwargs):
         CStruct._next_addr += 0x10000
-        self._c_addr = CStruct._next_addr
-        self._domain = None
-        for field in self._fields:
+        d = self.__dict__
+        # Dirty-field tracking for XPC delta marshaling: every public
+        # attribute write is recorded so a return trip can copy only
+        # fields actually mutated.  A fresh instance starts fully dirty
+        # (all fields marked) -- a new object reaching the boundary
+        # must cross in full.
+        d["_dirty_fields"] = set(self._fields_by_name)
+        d["_c_addr"] = CStruct._next_addr
+        d["_domain"] = None
+        d.update(self._simple_defaults)
+        for field in self._per_instance_fields:
             value = field.ctype.default()
             # An embedded struct shares its parent's storage in C: its
             # address is parent + offset.  A first member therefore has
             # the SAME address as the outer struct -- the aliasing case
             # the user-level object tracker disambiguates by type.
             if isinstance(field.ctype, Struct):
-                value._c_addr = self._c_addr + field.offset
-            setattr(self, field.name, value)
+                value._c_addr = d["_c_addr"] + field.offset
+            d[field.name] = value
         for key, value in kwargs.items():
             if key not in self._fields_by_name:
                 raise AttributeError(
@@ -323,6 +355,25 @@ class CStruct(metaclass=CStructMeta):
     @property
     def c_addr(self):
         return self._c_addr
+
+    def __setattr__(self, name, value):
+        object.__setattr__(self, name, value)
+        if name[0] != "_":
+            try:
+                self._dirty_fields.add(name)
+            except AttributeError:
+                pass  # writes before __init__ set up tracking
+
+    # -- dirty-field tracking (XPC delta marshaling) -----------------------------
+
+    def dirty_fields(self):
+        """Names of fields written since the last :meth:`clear_dirty`."""
+        return self._dirty_fields
+
+    def clear_dirty(self):
+        """Mark the object clean (done after each XPC transfer, so the
+        next return trip carries only fields written since)."""
+        self._dirty_fields.clear()
 
     def __repr__(self):
         return "<%s @%#x>" % (type(self).__name__, self._c_addr)

@@ -19,6 +19,20 @@ scheme (sections 2.3, 3.2.2-3.2.3):
 
 Data genuinely flows through a byte buffer (4-byte-aligned XDR wire
 format), so the byte counts the XPC layer charges are real.
+
+Two fast-path mechanisms sit on top of the scheme (both produce
+byte-identical wire data to the baseline):
+
+* **Compiled codecs**: the per-(struct, direction) field list is cached
+  on the plan and maximal runs of scalar fields are compiled into one
+  precompiled :class:`struct.Struct` pack/unpack, replacing per-field
+  ``struct.pack`` calls.  ``MarshalCodec(compiled=False)`` keeps the
+  uncached per-field baseline callable for the ablation benchmarks.
+* **Delta marshaling**: :class:`~repro.core.cstruct.CStruct` instances
+  track attribute writes; a *return* trip encoded with ``delta=True``
+  carries only fields actually mutated since the forward transfer
+  (wire format per object: field count, then ``(field index, payload)``
+  pairs indexed into the plan's field list).
 """
 
 import struct as _struct
@@ -33,6 +47,11 @@ TAG_ARRAY = 4
 
 TO_USER = "to_user"
 TO_KERNEL = "to_kernel"
+
+_U32 = _struct.Struct("<I")
+_U64 = _struct.Struct("<Q")
+_I32 = _struct.Struct("<i")
+_I64 = _struct.Struct("<q")
 
 
 class MarshalError(Exception):
@@ -65,50 +84,181 @@ class FieldAccess:
         )
 
 
+# -- compiled field programs ---------------------------------------------------
+
+OP_PACK = 0    # a run of plain scalar fields packed with one struct.Struct
+OP_FIELD = 1   # a complex field handled by the generic per-field path
+
+
+def _scalar_format_char(ctype):
+    if ctype.size == 8:
+        return "q" if ctype.signed else "Q"
+    return "i" if ctype.signed else "I"
+
+
+def compile_field_ops(fields):
+    """Compile a field list into an op program for the fast codec path.
+
+    Maximal runs of plain scalar fields collapse into one precompiled
+    ``struct.Struct``; everything else (strings, arrays, pointers,
+    embedded structs) falls back to the generic per-field handler.  The
+    wire bytes are identical to the per-field baseline.
+    """
+    ops = []
+    run_names, run_ctypes, run_fmt = [], [], "<"
+
+    def close_run():
+        if run_names:
+            # Per-field decode clamps, with None where the wire format
+            # is exactly as wide as the C type (4- and 8-byte scalars):
+            # there struct.unpack already enforces the range, so the
+            # store needs no clamp at all.
+            decode_clamps = tuple(
+                None if ct.size >= 4 else ct for ct in run_ctypes
+            )
+            # Sub-width fields (u8/u16...) ride a wider wire slot, so
+            # encode must clamp them even when the pack() would accept
+            # the raw value -- keeps wire bytes identical to baseline.
+            encode_subclamps = tuple(
+                (i, ct) for i, ct in enumerate(run_ctypes) if ct.size < 4
+            )
+            ops.append((OP_PACK, tuple(run_names), tuple(run_ctypes),
+                        _struct.Struct(run_fmt), decode_clamps,
+                        encode_subclamps))
+
+    for field in fields:
+        ctype = field.ctype
+        if isinstance(ctype, (Ptr, Struct, Str, Array)):
+            close_run()
+            run_names, run_ctypes, run_fmt = [], [], "<"
+            ops.append((OP_FIELD, field))
+        else:
+            run_names.append(field.name)
+            run_ctypes.append(ctype)
+            run_fmt += _scalar_format_char(ctype)
+    close_run()
+    return tuple(ops)
+
+
+def pack_format_for(fields):
+    """The flattened scalar pack format for a field list (for reports:
+    the cacheable artifact DriverSlicer emits alongside the XDR spec)."""
+    return "<" + "".join(
+        _scalar_format_char(f.ctype) for f in fields
+        if not isinstance(f.ctype, (Ptr, Struct, Str, Array))
+    )
+
+
 class MarshalPlan:
     """Per-struct field-access sets.  Without an entry, all fields cross
     (the whole-struct baseline the selective-marshaling ablation
-    compares against)."""
+    compares against).
+
+    The plan also owns the codec caches: per-(struct, direction) field
+    lists and compiled op programs, shared by every channel using the
+    plan.  Mutating the plan via :meth:`set_access` invalidates both.
+    """
 
     def __init__(self, accesses=None):
         self._accesses = dict(accesses or {})
+        self._field_cache = {}
+        self._op_cache = {}
 
     def set_access(self, struct_name, access):
         self._accesses[struct_name] = access
+        self._field_cache.clear()
+        self._op_cache.clear()
 
     def access_for(self, struct_cls):
         return self._accesses.get(struct_cls.__name__)
 
-    def fields_for(self, struct_cls, direction):
+    def uncached_fields_for(self, struct_cls, direction):
+        """Re-derive the field list on every call (the seed baseline the
+        compiled-codec ablation measures against)."""
         access = self.access_for(struct_cls)
         if access is None:
             return list(struct_cls.fields())
         wanted = access.all if direction == TO_USER else access.writes
         return [f for f in struct_cls.fields() if f.name in wanted]
 
+    def fields_for(self, struct_cls, direction):
+        key = (struct_cls, direction)
+        cached = self._field_cache.get(key)
+        if cached is None:
+            cached = tuple(self.uncached_fields_for(struct_cls, direction))
+            self._field_cache[key] = cached
+        return cached
+
+    def compiled_ops_for(self, struct_cls, direction):
+        key = (struct_cls, direction)
+        ops = self._op_cache.get(key)
+        if ops is None:
+            ops = compile_field_ops(self.fields_for(struct_cls, direction))
+            self._op_cache[key] = ops
+        return ops
+
     def struct_names(self):
         return sorted(self._accesses)
 
 
-class TypeIds:
+class TypeRegistry:
     """Stable small integers standing in for 'address of the C XDR
-    marshaling function' as the per-type identifier."""
+    marshaling function' as the per-type identifier.
 
-    _ids = {}
-    _by_id = {}
+    Each :class:`~repro.core.xpc.XpcChannel` owns a private registry, so
+    type-id assignment cannot leak between rigs or tests; both ends of a
+    channel share the channel's instance, which is what keeps the wire
+    ids consistent.
+    """
+
+    def __init__(self):
+        self._ids = {}
+        self._by_id = {}
+
+    def id_of(self, struct_cls):
+        key = struct_cls.__name__
+        if key not in self._ids:
+            new_id = len(self._ids) + 1
+            self._ids[key] = new_id
+            self._by_id[new_id] = struct_cls
+        return self._ids[key]
+
+    def struct_for(self, type_id):
+        return self._by_id.get(type_id)
+
+    def reset(self):
+        self._ids.clear()
+        self._by_id.clear()
+
+    def __len__(self):
+        return len(self._ids)
+
+
+class TypeIds:
+    """The process-wide default :class:`TypeRegistry` (legacy facade).
+
+    Codecs built without a channel fall back to this shared instance.
+    Tests and rig teardown may call :meth:`reset` to restore a pristine
+    table; channels are unaffected, since each owns its own registry.
+    """
+
+    _default = TypeRegistry()
+
+    @classmethod
+    def default(cls):
+        return cls._default
 
     @classmethod
     def id_of(cls, struct_cls):
-        key = struct_cls.__name__
-        if key not in cls._ids:
-            new_id = len(cls._ids) + 1
-            cls._ids[key] = new_id
-            cls._by_id[new_id] = struct_cls
-        return cls._ids[key]
+        return cls._default.id_of(struct_cls)
 
     @classmethod
     def struct_for(cls, type_id):
-        return cls._by_id.get(type_id)
+        return cls._default.struct_for(type_id)
+
+    @classmethod
+    def reset(cls):
+        cls._default.reset()
 
 
 class XdrBuffer:
@@ -123,53 +273,52 @@ class XdrBuffer:
 
     # encode
     def put_u32(self, v):
-        self.data += _struct.pack("<I", v & 0xFFFFFFFF)
+        self.data += _U32.pack(v & 0xFFFFFFFF)
 
     def put_u64(self, v):
-        self.data += _struct.pack("<Q", v & 0xFFFFFFFFFFFFFFFF)
+        self.data += _U64.pack(v & 0xFFFFFFFFFFFFFFFF)
 
     def put_scalar(self, ctype, value):
         # XDR promotes everything below 4 bytes to 4 ("hyper" is 8).
         value = ctype.clamp(int(value))
         if ctype.size == 8:
-            self.data += _struct.pack("<q" if ctype.signed else "<Q", value)
+            self.data += (_I64 if ctype.signed else _U64).pack(value)
         else:
-            self.data += _struct.pack("<i" if ctype.signed else "<I", value)
+            self.data += (_I32 if ctype.signed else _U32).pack(value)
 
     def put_bytes(self, raw):
         self.put_u32(len(raw))
         self.data += raw
-        while len(self.data) % 4:
-            self.data += b"\x00"
+        pad = -len(self.data) % 4
+        if pad:
+            self.data += b"\x00\x00\x00"[:pad]
 
     # decode
     def get_u32(self):
-        v = _struct.unpack_from("<I", self.data, self.pos)[0]
+        v = _U32.unpack_from(self.data, self.pos)[0]
         self.pos += 4
         return v
 
     def get_u64(self):
-        v = _struct.unpack_from("<Q", self.data, self.pos)[0]
+        v = _U64.unpack_from(self.data, self.pos)[0]
         self.pos += 8
         return v
 
     def get_scalar(self, ctype):
         if ctype.size == 8:
-            fmt = "<q" if ctype.signed else "<Q"
-            v = _struct.unpack_from(fmt, self.data, self.pos)[0]
+            v = (_I64 if ctype.signed else _U64).unpack_from(
+                self.data, self.pos)[0]
             self.pos += 8
         else:
-            fmt = "<i" if ctype.signed else "<I"
-            v = _struct.unpack_from(fmt, self.data, self.pos)[0]
+            v = (_I32 if ctype.signed else _U32).unpack_from(
+                self.data, self.pos)[0]
             self.pos += 4
         return ctype.clamp(v)
 
     def get_bytes(self):
         n = self.get_u32()
         raw = bytes(self.data[self.pos:self.pos + n])
-        self.pos += n
-        while self.pos % 4:
-            self.pos += 1
+        self.pos += n + (-n % 4)
         return raw
 
 
@@ -233,37 +382,93 @@ class _DecodeSeen:
         self.objects.append(obj)
 
 
-class MarshalCodec:
-    """Encode/decode struct graphs per a :class:`MarshalPlan`."""
+def _graph_has_dirty(obj, _visited=None):
+    """True if any object reachable from ``obj`` through pointer or
+    embedded-struct fields carries dirty marks (delta-marshaling
+    inclusion test for unreassigned pointers)."""
+    if obj is None:
+        return False
+    dirty = getattr(obj, "_dirty_fields", None)
+    if dirty is None:
+        return True  # no tracking info: assume mutated
+    if dirty:
+        return True
+    fields = getattr(type(obj), "_fields", ())
+    if _visited is None:
+        _visited = set()
+    if id(obj) in _visited:
+        return False
+    _visited.add(id(obj))
+    for field in fields:
+        ctype = field.ctype
+        if isinstance(ctype, Struct):
+            if _graph_has_dirty(getattr(obj, field.name), _visited):
+                return True
+        elif isinstance(ctype, Ptr):
+            if (field.annotation(Opaque) is None
+                    and field.annotation(Null) is None
+                    and field.annotation(Exp) is None):
+                if _graph_has_dirty(getattr(obj, field.name), _visited):
+                    return True
+    return False
 
-    def __init__(self, plan=None):
+
+class MarshalCodec:
+    """Encode/decode struct graphs per a :class:`MarshalPlan`.
+
+    ``compiled=True`` (the default) uses the plan's cached field lists
+    and precompiled scalar packers; ``compiled=False`` keeps the seed's
+    uncached per-field path callable for the ablation benchmarks.  Both
+    paths produce identical wire bytes.
+    """
+
+    def __init__(self, plan=None, type_ids=None, compiled=True):
         self.plan = plan or MarshalPlan()
+        self.type_ids = type_ids if type_ids is not None else TypeIds.default()
+        self.compiled = compiled
         self.objects_marshaled = 0
         self.fields_marshaled = 0
         self.backrefs = 0
+        self.delta_fields_skipped = 0
+        self.last_decoded_objects = ()
+        self._call_fields = 0
 
     # -- encode ------------------------------------------------------------------
 
-    def encode(self, obj, struct_cls, direction, ctx=None, _shared_seen=None):
+    def encode(self, obj, struct_cls, direction, ctx=None, _shared_seen=None,
+               delta=False):
         """Marshal one object graph; returns wire bytes."""
         ctx = ctx or TransferContext()
         buf = XdrBuffer()
         seen = _shared_seen if _shared_seen is not None else {}
-        self._encode_ref(buf, obj, struct_cls, direction, ctx, seen)
+        self._encode_ref(buf, obj, struct_cls, direction, ctx, seen, delta)
         return bytes(buf.data)
 
-    def encode_args(self, args, direction, ctx=None):
+    def encode_args(self, args, direction, ctx=None, delta=False):
         """Marshal several (obj, struct_cls) parameters with one shared
-        back-reference table, so a struct passed twice crosses once."""
+        back-reference table, so a struct passed twice crosses once.
+
+        Returns ``(data, nfields)`` where ``nfields`` counts the fields
+        marshaled by *this call* (the XPC layer charges per-field costs
+        from it; the codec-global ``fields_marshaled`` remains a
+        lifetime statistic).
+        """
         ctx = ctx or TransferContext()
         buf = XdrBuffer()
         seen = {}
-        buf.put_u32(len(args))
-        for obj, struct_cls in args:
-            self._encode_ref(buf, obj, struct_cls, direction, ctx, seen)
-        return bytes(buf.data)
+        saved = self._call_fields
+        self._call_fields = 0
+        try:
+            buf.put_u32(len(args))
+            for obj, struct_cls in args:
+                self._encode_ref(buf, obj, struct_cls, direction, ctx, seen,
+                                 delta)
+            nfields = self._call_fields
+        finally:
+            self._call_fields = saved
+        return bytes(buf.data), nfields
 
-    def _encode_ref(self, buf, obj, struct_cls, direction, ctx, seen):
+    def _encode_ref(self, buf, obj, struct_cls, direction, ctx, seen, delta):
         if obj is None:
             buf.put_u32(TAG_NULL)
             return
@@ -275,18 +480,100 @@ class MarshalCodec:
             return
         buf.put_u32(TAG_OBJ)
         buf.put_u64(identity)
-        buf.put_u32(TypeIds.id_of(type(obj)))
+        buf.put_u32(self.type_ids.id_of(type(obj)))
         seen[identity] = len(seen)
-        self._encode_payload(buf, obj, type(obj), identity, direction, ctx, seen)
+        self._encode_payload(buf, obj, type(obj), identity, direction, ctx,
+                             seen, delta)
 
-    def _encode_payload(self, buf, obj, struct_cls, identity, direction, ctx, seen):
+    def _encode_payload(self, buf, obj, struct_cls, identity, direction, ctx,
+                        seen, delta):
         self.objects_marshaled += 1
-        for field in self.plan.fields_for(struct_cls, direction):
-            self.fields_marshaled += 1
-            value = getattr(obj, field.name)
-            self._encode_field(buf, field, value, identity, direction, ctx, seen)
+        if delta:
+            self._encode_payload_delta(buf, obj, struct_cls, identity,
+                                       direction, ctx, seen)
+            return
+        if self.compiled:
+            od = obj.__dict__
+            for op in self.plan.compiled_ops_for(struct_cls, direction):
+                if op[0] == OP_PACK:
+                    _tag, names, ctypes, packer, _dc, subclamps = op
+                    vals = [od[n] for n in names]
+                    for i, ct in subclamps:
+                        vals[i] = ct.clamp(int(vals[i] or 0))
+                    try:
+                        # Raw pack: in-range ints (the overwhelmingly
+                        # common case) need no full-width clamping.
+                        buf.data += packer.pack(*vals)
+                    except (TypeError, _struct.error):
+                        # None or out-of-range somewhere in the run:
+                        # redo it clamped, matching the baseline bytes.
+                        buf.data += packer.pack(
+                            *[ct.clamp(int(od[name] or 0))
+                              for name, ct in zip(names, ctypes)]
+                        )
+                    n = len(names)
+                    self.fields_marshaled += n
+                    self._call_fields += n
+                else:
+                    field = op[1]
+                    self.fields_marshaled += 1
+                    self._call_fields += 1
+                    self._encode_field(buf, field, getattr(obj, field.name),
+                                       identity, direction, ctx, seen, delta)
+        else:
+            for field in self.plan.uncached_fields_for(struct_cls, direction):
+                self.fields_marshaled += 1
+                self._call_fields += 1
+                self._encode_field(buf, field, getattr(obj, field.name),
+                                   identity, direction, ctx, seen, delta)
 
-    def _encode_field(self, buf, field, value, parent_identity, direction, ctx, seen):
+    # -- delta (dirty-field) payloads ---------------------------------------------
+
+    def _delta_wanted(self, obj, field, dirty):
+        """Should this field cross on a delta return trip?
+
+        Scalar and string fields cross only when written.  Fields whose
+        values can mutate without an attribute write being observed
+        (inline arrays, exp-length arrays -- both plain Python lists)
+        always cross.  Pointer and embedded-struct fields cross when
+        reassigned or when the referenced graph carries dirty marks.
+        """
+        ctype = field.ctype
+        if dirty is None:
+            return True  # no tracking info: full copy
+        if isinstance(ctype, Array):
+            return True
+        if isinstance(ctype, Ptr):
+            if field.annotation(Exp) is not None:
+                return True
+            if (field.annotation(Opaque) is not None
+                    or field.annotation(Null) is not None):
+                return field.name in dirty
+            return (field.name in dirty
+                    or _graph_has_dirty(getattr(obj, field.name)))
+        if isinstance(ctype, Struct):
+            return _graph_has_dirty(getattr(obj, field.name))
+        return field.name in dirty
+
+    def _encode_payload_delta(self, buf, obj, struct_cls, identity, direction,
+                              ctx, seen):
+        fields = self.plan.fields_for(struct_cls, direction)
+        dirty = getattr(obj, "_dirty_fields", None)
+        included = [
+            (index, field) for index, field in enumerate(fields)
+            if self._delta_wanted(obj, field, dirty)
+        ]
+        self.delta_fields_skipped += len(fields) - len(included)
+        buf.put_u32(len(included))
+        for index, field in included:
+            buf.put_u32(index)
+            self.fields_marshaled += 1
+            self._call_fields += 1
+            self._encode_field(buf, field, getattr(obj, field.name), identity,
+                               direction, ctx, seen, delta=True)
+
+    def _encode_field(self, buf, field, value, parent_identity, direction, ctx,
+                      seen, delta):
         ctype = field.ctype
         if isinstance(ctype, Ptr):
             if field.annotation(Null) is not None:
@@ -303,13 +590,15 @@ class MarshalCodec:
                         "field %s: expected %s, got %r"
                         % (field.name, target.__name__, type(value).__name__)
                     )
-                self._encode_ref(buf, value, target, direction, ctx, seen)
+                self._encode_ref(buf, value, target, direction, ctx, seen,
+                                 delta)
         elif isinstance(ctype, Struct):
             # Embedded: part of the parent record, encoded inline; its
             # wire identity is parent + offset (its C address).
             child_identity = parent_identity + field.offset
             self._encode_payload(
-                buf, value, ctype.struct_cls, child_identity, direction, ctx, seen
+                buf, value, ctype.struct_cls, child_identity, direction, ctx,
+                seen, delta
             )
             seen.setdefault(child_identity, len(seen))
         elif isinstance(ctype, Str):
@@ -333,13 +622,16 @@ class MarshalCodec:
 
     # -- decode -------------------------------------------------------------------
 
-    def decode(self, data, struct_cls, direction, ctx=None):
+    def decode(self, data, struct_cls, direction, ctx=None, delta=False):
         ctx = ctx or TransferContext()
         buf = XdrBuffer(data)
         seen = _DecodeSeen()
-        return self._decode_ref(buf, struct_cls, direction, ctx, seen)
+        out = self._decode_ref(buf, struct_cls, direction, ctx, seen, delta)
+        self.last_decoded_objects = tuple(seen.objects)
+        return out
 
-    def decode_args(self, data, struct_classes, direction, ctx=None):
+    def decode_args(self, data, struct_classes, direction, ctx=None,
+                    delta=False):
         ctx = ctx or TransferContext()
         buf = XdrBuffer(data)
         seen = _DecodeSeen()
@@ -349,12 +641,14 @@ class MarshalCodec:
                 "argument count mismatch: wire has %d, caller expects %d"
                 % (count, len(struct_classes))
             )
-        return [
-            self._decode_ref(buf, cls, direction, ctx, seen)
+        out = [
+            self._decode_ref(buf, cls, direction, ctx, seen, delta)
             for cls in struct_classes
         ]
+        self.last_decoded_objects = tuple(seen.objects)
+        return out
 
-    def _decode_ref(self, buf, struct_cls, direction, ctx, seen):
+    def _decode_ref(self, buf, struct_cls, direction, ctx, seen, delta):
         tag = buf.get_u32()
         if tag == TAG_NULL:
             return None
@@ -368,19 +662,59 @@ class MarshalCodec:
             raise MarshalError("expected object tag, got %d" % tag)
         identity = buf.get_u64()
         type_id = buf.get_u32()
-        wire_cls = TypeIds.struct_for(type_id)
+        wire_cls = self.type_ids.struct_for(type_id)
         if wire_cls is None:
             raise MarshalError("unknown type id %d" % type_id)
         obj, _created = ctx.resolve(identity, wire_cls, type_id)
         seen.add(identity, obj)
-        self._decode_payload(buf, obj, wire_cls, identity, direction, ctx, seen)
+        self._decode_payload(buf, obj, wire_cls, identity, direction, ctx,
+                             seen, delta)
         return obj
 
-    def _decode_payload(self, buf, obj, struct_cls, identity, direction, ctx, seen):
-        for field in self.plan.fields_for(struct_cls, direction):
-            self._decode_field(buf, obj, field, identity, direction, ctx, seen)
+    def _decode_payload(self, buf, obj, struct_cls, identity, direction, ctx,
+                        seen, delta):
+        if delta:
+            self._decode_payload_delta(buf, obj, struct_cls, identity,
+                                       direction, ctx, seen)
+            return
+        if self.compiled:
+            # Twins land clean either way (the channel clears dirty
+            # marks after every transfer), so scalar stores go straight
+            # into the instance dict, skipping __setattr__ tracking.
+            od = obj.__dict__
+            for op in self.plan.compiled_ops_for(struct_cls, direction):
+                if op[0] == OP_PACK:
+                    _tag, names, _ctypes, packer, dclamps, _sc = op
+                    values = packer.unpack_from(buf.data, buf.pos)
+                    buf.pos += packer.size
+                    for name, ct, value in zip(names, dclamps, values):
+                        od[name] = value if ct is None else ct.clamp(value)
+                else:
+                    self._decode_field(buf, obj, op[1], identity, direction,
+                                       ctx, seen, delta)
+        else:
+            for field in self.plan.uncached_fields_for(struct_cls, direction):
+                self._decode_field(buf, obj, field, identity, direction, ctx,
+                                   seen, delta)
 
-    def _decode_field(self, buf, obj, field, parent_identity, direction, ctx, seen):
+    def _decode_payload_delta(self, buf, obj, struct_cls, identity, direction,
+                              ctx, seen):
+        fields = self.plan.fields_for(struct_cls, direction)
+        count = buf.get_u32()
+        for _ in range(count):
+            index = buf.get_u32()
+            try:
+                field = fields[index]
+            except IndexError:
+                raise MarshalError(
+                    "bad delta field index %d for %s"
+                    % (index, struct_cls.__name__)
+                ) from None
+            self._decode_field(buf, obj, field, identity, direction, ctx,
+                               seen, delta=True)
+
+    def _decode_field(self, buf, obj, field, parent_identity, direction, ctx,
+                      seen, delta):
         ctype = field.ctype
         if isinstance(ctype, Ptr):
             if field.annotation(Null) is not None:
@@ -398,17 +732,19 @@ class MarshalCodec:
                 setattr(obj, field.name, self._decode_exp_array(buf))
             else:
                 target = ctype.resolve()
-                value = self._decode_ref(buf, target, direction, ctx, seen)
+                value = self._decode_ref(buf, target, direction, ctx, seen,
+                                         delta)
                 setattr(obj, field.name, value)
         elif isinstance(ctype, Struct):
             child = getattr(obj, field.name)
             child_identity = parent_identity + field.offset
             ctx.register(
                 child_identity, ctype.struct_cls,
-                TypeIds.id_of(ctype.struct_cls), child,
+                self.type_ids.id_of(ctype.struct_cls), child,
             )
             self._decode_payload(
-                buf, child, ctype.struct_cls, child_identity, direction, ctx, seen
+                buf, child, ctype.struct_cls, child_identity, direction, ctx,
+                seen, delta
             )
             seen.add(child_identity, child)
         elif isinstance(ctype, Str):

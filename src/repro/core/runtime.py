@@ -23,7 +23,6 @@ the paper found for E1000.
 
 from ..kernel.timers import KernelTimer, WorkItem
 from .domains import DECAF, KERNEL
-from .marshal import TypeIds
 
 
 class NuclearRuntime:
@@ -50,6 +49,34 @@ class NuclearRuntime:
             self.kernel.irq.disable_irq(irq)
         try:
             return self.channel.upcall(func, args, extra)
+        finally:
+            if irq is not None:
+                self.kernel.irq.enable_irq(irq)
+
+    # -- deferred one-way notifications ----------------------------------------
+
+    def notify(self, func, args=(), extra=None):
+        """Queue a fire-and-forget upcall (no return value, no sleep).
+
+        Legal from any context -- interrupt handlers, timer callbacks,
+        under spinlocks -- because nothing crosses until the channel's
+        next sync point.  Repeats for the same target coalesce.
+        """
+        self.channel.defer(func, args, extra)
+
+    def flush_notifications(self):
+        """Drain queued notifications in one batched crossing.
+
+        Must be called from process context; the device interrupt is
+        masked while the user half runs, as for a normal upcall.
+        """
+        if not self.channel.pending_deferred():
+            return 0
+        irq = self.irq_line
+        if irq is not None:
+            self.kernel.irq.disable_irq(irq)
+        try:
+            return self.channel.flush_deferred()
         finally:
             if irq is not None:
                 self.kernel.irq.enable_irq(irq)
@@ -144,7 +171,7 @@ class DecafRuntime:
         """
         java_obj = struct_cls()
         kernel_obj = struct_cls()
-        type_id = TypeIds.id_of(struct_cls)
+        type_id = self.channel.type_ids.id_of(struct_cls)
         self.channel.kernel_tracker.register(kernel_obj)
         self.channel.user_tracker.associate(
             kernel_obj.c_addr, type_id, java_obj, weak=weak

@@ -16,10 +16,25 @@ call discipline -- across the two boundaries of the Decaf architecture:
 Every crossing updates counters (Table 3's "User/Kernel Crossings"
 column is :attr:`Xpc.kernel_user_crossings`) and charges the virtual
 clock per the cost model.
+
+Fast-path mechanics layered on the baseline protocol:
+
+* **Delta return trips** -- the return path of ``upcall`` / ``downcall``
+  / ``lang_call`` marshals only fields the callee actually wrote
+  (dirty-field tracking on :class:`~repro.core.cstruct.CStruct`).
+* **Deferred one-way notifications** -- :meth:`XpcChannel.defer`
+  queues fire-and-forget calls (watchdog kicks, period-elapsed ticks)
+  and coalesces repeats; the queue is flushed in a *single* crossing at
+  the next sync point (any upcall/downcall, or an explicit
+  :meth:`flush_deferred`), charged batch-aware costs.
 """
 
+import weakref
+
 from .domains import DECAF, DRIVER_LIB, KERNEL
-from .marshal import MarshalCodec, TO_KERNEL, TO_USER, TransferContext, TypeIds
+from .marshal import (
+    MarshalCodec, TO_KERNEL, TO_USER, TransferContext, TypeRegistry,
+)
 from .objtracker import KernelObjectTracker, UserObjectTracker
 
 
@@ -105,6 +120,12 @@ class Xpc:
         self.bytes_marshaled = 0
         self.upcalls = 0
         self.downcalls = 0
+        # Deferred-notification accounting (batched one-way crossings).
+        self.deferred_calls = 0       # notifications enqueued
+        self.deferred_coalesced = 0   # enqueues absorbed by a queued duplicate
+        self.deferred_flushes = 0     # batches flushed (crossings paid)
+        self.deferred_errors = 0      # notifications whose handler raised
+        self.deferred_dropped = 0     # pending notifications dropped at close
 
     def reset_counters(self):
         self.kernel_user_crossings = 0
@@ -112,6 +133,11 @@ class Xpc:
         self.bytes_marshaled = 0
         self.upcalls = 0
         self.downcalls = 0
+        self.deferred_calls = 0
+        self.deferred_coalesced = 0
+        self.deferred_flushes = 0
+        self.deferred_errors = 0
+        self.deferred_dropped = 0
 
 
 class XpcChannel:
@@ -119,14 +145,17 @@ class XpcChannel:
 
     One channel serves one decaf driver: the same object trackers back
     both the kernel/user boundary and the C/Java boundary, with
-    crossings counted separately per boundary.
+    crossings counted separately per boundary.  Each channel owns a
+    private :class:`TypeRegistry`, so wire type ids never leak between
+    rigs.
     """
 
     def __init__(self, xpc, domains, plan=None, name="xpc",
                  weak_shared_objects=False, single_process=True):
         self.xpc = xpc
         self.domains = domains
-        self.codec = MarshalCodec(plan)
+        self.type_ids = TypeRegistry()
+        self.codec = MarshalCodec(plan, type_ids=self.type_ids)
         self.name = name
         self.weak_shared_objects = weak_shared_objects
         # The decaf driver and driver library share one process, so the
@@ -137,8 +166,16 @@ class XpcChannel:
         self.user_tracker = UserObjectTracker()
         self.kernel_ctx = _KernelSideContext(self)
         self.user_ctx = _UserSideContext(self)
-        self._handles = {}
+        # Opaque-handle table: weak values, so a kernel object that dies
+        # does not linger for the life of the rig; objects that cannot
+        # be weakly referenced (plain lists/dicts) fall back to a strong
+        # table released on close().
+        self._handles = weakref.WeakValueDictionary()
+        self._strong_handles = {}
         self._canonical_map = {}
+        self._deferred = []
+        self._flushing = False
+        self.closed = False
 
     # -- opaque handles ---------------------------------------------------------
 
@@ -148,13 +185,39 @@ class XpcChannel:
         if isinstance(obj, int):
             return obj
         handle = id(obj)
-        self._handles[handle] = obj
+        try:
+            self._handles[handle] = obj
+        except TypeError:
+            self._strong_handles[handle] = obj
         return handle
 
     def object_of(self, handle):
         if handle == 0:
             return None
-        return self._handles.get(handle, handle)
+        obj = self._handles.get(handle)
+        if obj is None:
+            obj = self._strong_handles.get(handle)
+        return obj if obj is not None else handle
+
+    def release_handles(self):
+        """Drop every opaque-handle mapping (channel teardown)."""
+        self._handles.clear()
+        self._strong_handles.clear()
+
+    def handle_count(self):
+        return len(self._handles) + len(self._strong_handles)
+
+    def close(self):
+        """Tear the channel down: drop pending notifications, release
+        opaque handles and canonical aliases.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._deferred:
+            self.xpc.deferred_dropped += len(self._deferred)
+            self._deferred.clear()
+        self.release_handles()
+        self._canonical_map.clear()
 
     def canonicalize_user_object(self, user_identity, type_id, kernel_obj):
         """Re-key a Java-born object to its new kernel twin's address."""
@@ -188,6 +251,20 @@ class XpcChannel:
             costs.xpc_thread_dispatch_ns, busy=False, category="xpc-wait"
         )
 
+    def _charge_batch_crossing(self, nitems):
+        # One crossing carries the whole batch: full crossing cost for
+        # the first item, a marginal per-item cost for the rest, one
+        # thread dispatch total.
+        costs = self.xpc.kernel.costs
+        self.xpc.kernel.consume(
+            costs.xpc_kernel_user_ns
+            + (nitems - 1) * costs.xpc_batch_item_ns,
+            busy=True, category="xpc",
+        )
+        self.xpc.kernel.consume(
+            costs.xpc_thread_dispatch_ns, busy=False, category="xpc-wait"
+        )
+
     def _charge_lang_crossing(self):
         costs = self.xpc.kernel.costs
         dispatch = 0 if self.single_process else costs.xpc_thread_dispatch_ns
@@ -197,19 +274,92 @@ class XpcChannel:
 
     # -- marshaling helpers shared by stubs ------------------------------------------
 
-    def _transfer_args(self, args, direction):
-        """Marshal (obj, cls) pairs across; returns twin objects."""
+    def _transfer_args(self, args, direction, delta=False):
+        """Marshal (obj, cls) pairs across; returns twin objects.
+
+        ``delta=True`` (return trips) copies only fields carrying dirty
+        marks.  Either way, every object materialized on the receiving
+        side is marked clean afterwards, so its dirty set accumulates
+        exactly the writes made *since* this transfer.
+        """
         if direction == TO_USER:
             src_ctx, dst_ctx = self.kernel_ctx, self.user_ctx
         else:
             src_ctx, dst_ctx = self.user_ctx, self.kernel_ctx
-        before = self.codec.fields_marshaled
-        data = self.codec.encode_args(args, direction, ctx=src_ctx)
-        twins = self.codec.decode_args(
-            data, [cls for _obj, cls in args], direction, ctx=dst_ctx
+        data, nfields = self.codec.encode_args(
+            args, direction, ctx=src_ctx, delta=delta
         )
-        self._charge_marshal(len(data), self.codec.fields_marshaled - before)
+        twins = self.codec.decode_args(
+            data, [cls for _obj, cls in args], direction, ctx=dst_ctx,
+            delta=delta,
+        )
+        self._charge_marshal(len(data), nfields)
+        for obj in self.codec.last_decoded_objects:
+            clear = getattr(obj, "clear_dirty", None)
+            if clear is not None:
+                clear()
         return twins
+
+    # -- deferred one-way notifications ---------------------------------------------
+
+    def defer(self, func, args=(), extra=None):
+        """Queue a fire-and-forget kernel -> user notification.
+
+        Safe from any context (including interrupt handlers and under
+        spinlocks): nothing crosses now.  A queued notification for the
+        same ``func`` is *replaced* (coalesced) -- the semantics of a
+        watchdog kick or period-elapsed tick, where only the latest
+        matters.  The queue drains in one batched crossing at the next
+        sync point.
+        """
+        self.xpc.deferred_calls += 1
+        # Equality, not identity: a bound method (nucleus.decaf.tick)
+        # is a fresh object on every attribute access, but compares
+        # equal to itself; distinct lambdas stay distinct.
+        for i, (qfunc, _qargs, _qextra) in enumerate(self._deferred):
+            if qfunc == func:
+                self._deferred[i] = (func, list(args), extra)
+                self.xpc.deferred_coalesced += 1
+                return
+        self._deferred.append((func, list(args), extra))
+
+    def pending_deferred(self):
+        return len(self._deferred)
+
+    def flush_deferred(self):
+        """Drain the deferred queue in one batched crossing.
+
+        Called implicitly at every upcall/downcall (sync points) and
+        explicitly by nuclei at sleep-capable points.  Handler
+        exceptions are swallowed and counted -- one-way notifications
+        have no caller to propagate to.  Returns the batch size.
+        """
+        if not self._deferred or self._flushing:
+            return 0
+        kernel = self.xpc.kernel
+        kernel.context.might_sleep("XPC deferred-notification flush")
+        # Reentrancy guard: a notification handler may downcall, and
+        # downcall entry is itself a sync point.
+        self._flushing = True
+        try:
+            batch = self._deferred
+            self._deferred = []
+            self.xpc.deferred_flushes += 1
+            self.xpc.kernel_user_crossings += 1
+            self._charge_batch_crossing(len(batch))
+            for func, args, extra in batch:
+                try:
+                    twins = self._transfer_args(list(args), TO_USER)
+                    self.domains.push(DRIVER_LIB)
+                    try:
+                        func(*(list(twins) + list(extra or ())))
+                    finally:
+                        self.domains.pop(DRIVER_LIB)
+                except Exception:
+                    self.xpc.deferred_errors += 1
+            return len(batch)
+        finally:
+            self._flushing = False
 
     # -- the four call paths -------------------------------------------------------------
 
@@ -233,9 +383,14 @@ class XpcChannel:
             ret = func(*call_args)
         finally:
             self.domains.pop(DRIVER_LIB)
-        # Return path: writable fields propagate back to the kernel.
-        self._transfer_args(list(args_back(args, twins)), TO_KERNEL)
+        # Return path: only fields the user level wrote propagate back.
+        self._transfer_args(list(args_back(args, twins)), TO_KERNEL,
+                            delta=True)
         self._charge_kernel_crossing()
+        # Sync point: drain queued notifications now that a crossing
+        # has completed anyway (never *before* the call -- that would
+        # delay it behind the batch).
+        self.flush_deferred()
         return ret
 
     def downcall(self, func, args=(), extra=None):
@@ -251,8 +406,9 @@ class XpcChannel:
             ret = func(*call_args)
         finally:
             self.domains.pop(KERNEL)
-        self._transfer_args(list(args_back(args, twins)), TO_USER)
+        self._transfer_args(list(args_back(args, twins)), TO_USER, delta=True)
         self._charge_kernel_crossing()
+        self.flush_deferred()  # sync point (see upcall)
         return ret
 
     def lang_call(self, func, args=(), extra=None, to_java=True):
@@ -274,7 +430,7 @@ class XpcChannel:
         finally:
             self.domains.pop(domain)
         back = TO_KERNEL if to_java else TO_USER
-        self._transfer_args(list(args_back(args, twins)), back)
+        self._transfer_args(list(args_back(args, twins)), back, delta=True)
         return ret
 
     def direct_call(self, func, *scalars):

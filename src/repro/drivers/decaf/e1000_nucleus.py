@@ -158,10 +158,14 @@ class E1000Nucleus:
         if self.adapter_lock.held:
             self.watchdog_skips += 1
         else:
-            self.plumbing.upcall(
+            # The watchdog kick is a one-way notification: queue it
+            # (coalescing with any still-pending kick) and flush the
+            # batch here, in process context, as one crossing.
+            self.plumbing.notify(
                 self.decaf.watchdog,
                 args=[(self.adapter, e1000_adapter)],
             )
+            self.plumbing.flush_notifications()
         if self.watchdog_timer is not None:
             self.watchdog_timer.mod_timer_after(2_000_000_000)
 

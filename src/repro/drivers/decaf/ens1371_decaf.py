@@ -46,6 +46,7 @@ class Ens1371DecafDriver:
         self.nucleus = nucleus
         self._dac2_dma_addr = 0
         self._buffer_bytes = 0
+        self.periods_noted = 0
 
     def _down(self, func, chip=None, extra=None, exc=DriverException):
         args = [(chip, ensoniq)] if chip is not None else []
@@ -190,6 +191,14 @@ class Ens1371DecafDriver:
         self.rt.outl((period_bytes // frame_bytes) - 1,
                      chip.port + ES_REG_DAC2_COUNT)
         self.rt.outl(chip.sctrl, chip.port + ES_REG_SERIAL)
+        return 0
+
+    def period_elapsed(self, chip):
+        """One-way notification from the interrupt path: a playback
+        period completed.  Arrives batched/coalesced at the next sync
+        point -- bookkeeping only, since the actual period accounting
+        (``snd_pcm_period_elapsed``) already ran in the kernel."""
+        self.periods_noted += 1
         return 0
 
     def playback_trigger(self, chip, cmd):

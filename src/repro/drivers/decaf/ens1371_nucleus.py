@@ -151,9 +151,22 @@ class Ens1371Nucleus:
         self.linux.pci_disable_device(self.pdev)
         return 0
 
+    def _interrupt(self, irq, dev_id):
+        ret = legacy.snd_ens1371_interrupt(irq, dev_id)
+        if (ret == self.linux.IRQ_HANDLED and dev_id is not None
+                and dev_id.playing and self.decaf is not None):
+            # Period-elapsed is a one-way notification for the decaf
+            # half; from irq context it may only be *queued* (nothing
+            # crosses here).  Repeats coalesce, and the batch rides the
+            # next sync-point crossing -- the data path itself stays
+            # entirely in the kernel.
+            self.plumbing.notify(self.decaf.period_elapsed,
+                                 args=self._chip_args())
+        return ret
+
     def k_request_irq(self, chip):
         return self.linux.request_irq(
-            chip.irq, legacy.snd_ens1371_interrupt, DRV_NAME,
+            chip.irq, self._interrupt, DRV_NAME,
             legacy._state.ensoniq,
         )
 

@@ -94,6 +94,27 @@ class DecafPlumbing:
             return errno_of(exc)
         return 0 if ret is None else ret
 
+    def notify(self, func, args=(), extra=None):
+        """Queue a fire-and-forget kernel -> decaf notification.
+
+        Legal from any context; crosses (batched, coalesced) at the
+        channel's next sync point or an explicit
+        :meth:`flush_notifications`.
+        """
+        self.nuclear.notify(func, args, extra)
+
+    def flush_notifications(self):
+        """Drain queued notifications in one batched crossing."""
+        return self.nuclear.flush_notifications()
+
+    def close(self):
+        """Release channel resources (handles, pending notifications).
+
+        Wired into :class:`DecafDriverModule` teardown so long-running
+        rigs do not accumulate opaque-handle entries across loads.
+        """
+        self.channel.close()
+
     def downcall_checked(self, func, args=(), extra=None, exc_type=None):
         """Decaf -> kernel call that raises on a negative errno return."""
         ret = self.channel.downcall(func, args, extra)

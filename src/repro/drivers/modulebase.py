@@ -76,4 +76,7 @@ class DecafDriverModule(KernelModule):
     def cleanup_module(self, kernel):
         if self.instance is not None:
             self.instance.cleanup()
+            plumbing = getattr(self.instance, "plumbing", None)
+            if plumbing is not None:
+                plumbing.close()
             self.instance = None

@@ -55,6 +55,10 @@ class CostModel:
     xpc_kernel_user_ns: int = 60_000
     xpc_thread_dispatch_ns: int = 7_000_000
     xpc_lang_ns: int = 20_000  # C<->Java (JNI) transition
+    # Marginal cost of one extra notification riding an already-paid
+    # batched crossing (deferred-queue flush): the control transfer and
+    # thread dispatch are shared, only demux and argument copies remain.
+    xpc_batch_item_ns: int = 8_000
     marshal_byte_ns: int = 450
     marshal_field_ns: int = 2_200
     objtracker_lookup_ns: int = 800

@@ -15,6 +15,7 @@ from .accessanalysis import analyze_field_accesses, build_marshal_plan
 from .annotations import count_annotations
 from .callgraph import build_call_graph
 from .partition import partition_driver
+from .xdrgen import driver_struct_classes, generate_codec_plans
 
 
 def conversion_report(config, decaf_converted=None):
@@ -57,5 +58,8 @@ def conversion_report(config, decaf_converted=None):
         "user_fraction": partition.summary()["user_fraction"],
         "partition": partition,
         "marshal_plan": plan,
+        "codec_plans": generate_codec_plans(
+            driver_struct_classes(modules), plan
+        ),
         "graph": graph,
     }

@@ -48,6 +48,9 @@ def move_and_click(rig, duration_s=30.0):
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
+        deferred_calls=rig.deferred_stats()["calls"],
+        deferred_coalesced=rig.deferred_stats()["coalesced"],
+        deferred_flushes=rig.deferred_stats()["flushes"],
         decaf_invocations=rig.crossings() - x0,
         extra={"input_events": events["count"], "clicks": clicks},
     )

@@ -63,6 +63,9 @@ def netperf_send(rig, duration_s=2.0, msg_bytes=1500):
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
+        deferred_calls=rig.deferred_stats()["calls"],
+        deferred_coalesced=rig.deferred_stats()["coalesced"],
+        deferred_flushes=rig.deferred_stats()["flushes"],
         decaf_invocations=rig.crossings() - x0,
     )
     kernel.net.dev_close(dev)
@@ -103,6 +106,9 @@ def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95):
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
+        deferred_calls=rig.deferred_stats()["calls"],
+        deferred_coalesced=rig.deferred_stats()["coalesced"],
+        deferred_flushes=rig.deferred_stats()["flushes"],
         decaf_invocations=rig.crossings() - x0,
     )
     kernel.net.rx_sink = None
@@ -167,6 +173,9 @@ def netperf_udp_rr(rig, duration_s=1.0, msg_bytes=1):
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
+        deferred_calls=rig.deferred_stats()["calls"],
+        deferred_coalesced=rig.deferred_stats()["coalesced"],
+        deferred_flushes=rig.deferred_stats()["flushes"],
         decaf_invocations=rig.crossings() - x0,
         extra={"transactions": responses["count"]},
     )

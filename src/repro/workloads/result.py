@@ -17,6 +17,11 @@ class WorkloadResult:
     kernel_user_crossings: int = 0
     lang_crossings: int = 0
     decaf_invocations: int = 0
+    # Deferred one-way notifications (batched crossings): enqueued,
+    # absorbed into a queued duplicate, and batches actually flushed.
+    deferred_calls: int = 0
+    deferred_coalesced: int = 0
+    deferred_flushes: int = 0
     extra: dict = field(default_factory=dict)
 
     def row(self):
@@ -27,4 +32,7 @@ class WorkloadResult:
             "init_latency_s": round(self.init_latency_s, 3),
             "crossings": self.kernel_user_crossings,
             "decaf_invocations": self.decaf_invocations,
+            "deferred_calls": self.deferred_calls,
+            "deferred_coalesced": self.deferred_coalesced,
+            "deferred_flushes": self.deferred_flushes,
         }

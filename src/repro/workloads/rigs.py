@@ -53,6 +53,16 @@ class Rig:
     def lang_crossings(self):
         return self.xpc.lang_crossings if self.xpc else 0
 
+    def deferred_stats(self):
+        """Deferred-notification counters (batched one-way crossings)."""
+        if not self.xpc:
+            return {"calls": 0, "coalesced": 0, "flushes": 0}
+        return {
+            "calls": self.xpc.deferred_calls,
+            "coalesced": self.xpc.deferred_coalesced,
+            "flushes": self.xpc.deferred_flushes,
+        }
+
     def netdev(self):
         return self.kernel.net.find("eth0")
 

@@ -63,6 +63,9 @@ def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024):
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
+        deferred_calls=rig.deferred_stats()["calls"],
+        deferred_coalesced=rig.deferred_stats()["coalesced"],
+        deferred_flushes=rig.deferred_stats()["flushes"],
         decaf_invocations=rig.crossings() - x0,
         extra={"files": nfiles,
                "disk_blocks_written": rig.extra["disk"].writes},

@@ -127,10 +127,13 @@ class TestRecursionAndSharing:
         t1 = m_thing(node=shared)
         t2 = m_thing(node=shared)
         codec = MarshalCodec()
-        data = codec.encode_args([(t1, m_thing), (t2, m_thing)], TO_USER)
+        data, nfields = codec.encode_args(
+            [(t1, m_thing), (t2, m_thing)], TO_USER
+        )
         out1, out2 = codec.decode_args(data, [m_thing, m_thing], TO_USER)
         assert out1.node is out2.node
         assert codec.backrefs == 1
+        assert nfields > 0
 
     def test_pointer_to_embedded_child(self):
         """A pointer elsewhere in the graph to an embedded struct

@@ -1,0 +1,293 @@
+"""XPC fast path: deferred notifications, delta return trips, handles.
+
+Covers the batched one-way crossing queue (coalescing, sync-point
+flush, atomic-context legality, cost accounting), the dirty-field
+delta return path (a field written by neither side must not cross
+back), and the opaque-handle table (weak entries, release on close).
+"""
+
+import gc
+
+import pytest
+
+from repro.core import (
+    CStruct,
+    DomainManager,
+    I32,
+    Opaque,
+    Ptr,
+    Struct,
+    U32,
+    Xpc,
+    XpcChannel,
+)
+from repro.kernel import SleepInAtomicError, SpinLock
+
+
+class xd_leaf(CStruct):
+    FIELDS = [("v", U32)]
+
+
+class xd_state(CStruct):
+    FIELDS = [
+        ("n", I32),
+        ("m", I32),
+        ("first", Struct(xd_leaf)),
+        ("peer", Ptr("xd_state")),
+        ("secret", Ptr(xd_leaf), Opaque()),
+    ]
+
+
+def make_channel(kernel):
+    dm = DomainManager()
+    xpc = Xpc(kernel)
+    return XpcChannel(xpc, dm), xpc
+
+
+class TestDeferredNotifications:
+    def test_coalesce_and_single_crossing(self, kernel):
+        channel, xpc = make_channel(kernel)
+        obj = xd_state(n=1)
+        channel.kernel_tracker.register(obj)
+        seen = []
+
+        def tick(twin):
+            seen.append(twin.n)
+
+        for i in range(5):
+            obj.n = i
+            channel.defer(tick, args=[(obj, xd_state)])
+        assert xpc.deferred_calls == 5
+        assert xpc.deferred_coalesced == 4
+        assert channel.pending_deferred() == 1
+        assert xpc.kernel_user_crossings == 0   # nothing crossed yet
+
+        assert channel.flush_deferred() == 1
+        assert seen == [4]                      # only the latest tick ran
+        assert xpc.kernel_user_crossings == 1
+        assert xpc.deferred_flushes == 1
+
+    def test_distinct_funcs_batch_in_one_crossing(self, kernel):
+        channel, xpc = make_channel(kernel)
+        obj = xd_state()
+        channel.kernel_tracker.register(obj)
+        ran = []
+        funcs = [lambda twin, i=i: ran.append(i) for i in range(3)]
+        for func in funcs:
+            channel.defer(func, args=[(obj, xd_state)])
+        assert channel.pending_deferred() == 3
+        assert channel.flush_deferred() == 3
+        assert ran == [0, 1, 2]
+        assert xpc.kernel_user_crossings == 1   # the whole batch, once
+
+    def test_batch_cheaper_than_individual_upcalls(self, kernel):
+        channel, _xpc = make_channel(kernel)
+        obj = xd_state()
+        channel.kernel_tracker.register(obj)
+        funcs = [lambda twin, i=i: None for i in range(3)]
+        for func in funcs:
+            channel.defer(func, args=[(obj, xd_state)])
+        t0 = kernel.now_ns()
+        channel.flush_deferred()
+        elapsed = kernel.now_ns() - t0
+        # One thread dispatch for the batch; three upcalls would pay
+        # two dispatches each.
+        assert elapsed < 2 * kernel.costs.xpc_thread_dispatch_ns
+
+    def test_defer_legal_in_atomic_context_flush_is_not(self, kernel):
+        channel, _xpc = make_channel(kernel)
+        obj = xd_state()
+        channel.kernel_tracker.register(obj)
+        ran = []
+        lock = SpinLock(kernel, "t")
+        with lock:
+            channel.defer(lambda twin: ran.append(1),
+                          args=[(obj, xd_state)])  # queue only: legal
+            with pytest.raises(SleepInAtomicError):
+                channel.flush_deferred()
+        assert ran == []
+        channel.flush_deferred()                  # process context: fine
+        assert ran == [1]
+
+    def test_upcall_is_a_sync_point(self, kernel):
+        channel, xpc = make_channel(kernel)
+        obj = xd_state()
+        channel.kernel_tracker.register(obj)
+        ran = []
+        channel.defer(lambda twin: ran.append("deferred"),
+                      args=[(obj, xd_state)])
+        channel.upcall(lambda twin: ran.append("upcall"),
+                       args=[(obj, xd_state)])
+        assert ran == ["upcall", "deferred"]   # drained after the call
+        assert channel.pending_deferred() == 0
+        assert xpc.kernel_user_crossings == 2  # upcall + one batch
+
+    def test_downcall_is_a_sync_point(self, kernel):
+        channel, _xpc = make_channel(kernel)
+        obj = xd_state()
+        channel.kernel_tracker.register(obj)
+        ran = []
+        channel.defer(lambda twin: ran.append("deferred"),
+                      args=[(obj, xd_state)])
+        channel.downcall(lambda twin: ran.append("downcall"),
+                         args=[(obj, xd_state)])
+        assert ran == ["downcall", "deferred"]
+
+    def test_handler_error_swallowed_and_counted(self, kernel):
+        channel, xpc = make_channel(kernel)
+        obj = xd_state()
+        channel.kernel_tracker.register(obj)
+        ran = []
+
+        def boom(twin):
+            raise RuntimeError("notification handler died")
+
+        channel.defer(boom, args=[(obj, xd_state)])
+        channel.defer(lambda twin: ran.append(1), args=[(obj, xd_state)])
+        assert channel.flush_deferred() == 2
+        assert xpc.deferred_errors == 1
+        assert ran == [1]                      # later items still run
+
+    def test_handler_may_downcall_without_recursion(self, kernel):
+        channel, xpc = make_channel(kernel)
+        obj = xd_state()
+        channel.kernel_tracker.register(obj)
+        ran = []
+
+        def notif(twin):
+            channel.downcall(lambda t: ran.append("down"),
+                             args=[(obj, xd_state)])
+
+        channel.defer(notif, args=[(obj, xd_state)])
+        channel.flush_deferred()
+        assert ran == ["down"]
+        assert xpc.deferred_flushes == 1       # no reentrant second flush
+
+    def test_close_drops_pending(self, kernel):
+        channel, xpc = make_channel(kernel)
+        obj = xd_state()
+        channel.kernel_tracker.register(obj)
+        channel.defer(lambda twin: None, args=[(obj, xd_state)])
+        channel.close()
+        assert channel.pending_deferred() == 0
+        assert xpc.deferred_dropped == 1
+        channel.close()                        # idempotent
+        assert xpc.deferred_dropped == 1
+
+
+class TestDeltaReturnTrips:
+    def test_unwritten_field_does_not_cross_back(self, kernel):
+        """A field written by neither side must not cross back: the
+        return trip would otherwise clobber concurrent kernel-side
+        state with the twin's stale forward-copy."""
+        channel, _xpc = make_channel(kernel)
+        obj = xd_state(n=1, m=10)
+        channel.kernel_tracker.register(obj)
+
+        def func(twin):
+            obj.m = 99   # kernel-side write while user code runs
+            twin.n = 2   # user writes only n
+
+        channel.upcall(func, args=[(obj, xd_state)])
+        assert obj.n == 2     # written by user: crossed back
+        assert obj.m == 99    # untouched by user: kernel value survives
+
+    def test_written_embedded_field_crosses_back(self, kernel):
+        channel, _xpc = make_channel(kernel)
+        obj = xd_state()
+        channel.kernel_tracker.register(obj)
+
+        def func(twin):
+            twin.first.v = 7   # in-place write on the embedded child
+
+        channel.upcall(func, args=[(obj, xd_state)])
+        assert obj.first.v == 7
+
+    def test_new_object_attached_by_user_crosses_fully(self, kernel):
+        channel, _xpc = make_channel(kernel)
+        obj = xd_state()
+        channel.kernel_tracker.register(obj)
+
+        def func(twin):
+            twin.peer = xd_state(n=7)
+
+        channel.upcall(func, args=[(obj, xd_state)])
+        assert obj.peer is not None
+        assert obj.peer.n == 7
+
+    def test_downcall_return_is_delta_too(self, kernel):
+        channel, _xpc = make_channel(kernel)
+        # Shared pair, as runtime.new_shared sets it up: a user object
+        # associated with its registered kernel twin.
+        java_obj = xd_state(n=1, m=10)
+        kernel_twin = xd_state()
+        channel.kernel_tracker.register(kernel_twin)
+        channel.user_tracker.associate(
+            kernel_twin.c_addr, channel.type_ids.id_of(xd_state), java_obj
+        )
+
+        def kfunc(twin):
+            twin.n = 5       # kernel writes n only
+            java_obj.m = 77  # user-side write while kernel runs
+
+        channel.downcall(kfunc, args=[(java_obj, xd_state)])
+        assert java_obj.n == 5
+        assert java_obj.m == 77   # not clobbered by the return trip
+
+    def test_return_bytes_shrink_with_delta(self, kernel):
+        """The delta return trip moves fewer bytes than the forward
+        transfer of the same struct."""
+        channel, xpc = make_channel(kernel)
+        obj = xd_state(n=1, m=2)
+        channel.kernel_tracker.register(obj)
+        channel.upcall(lambda twin: None, args=[(obj, xd_state)])
+        forward_and_back = xpc.bytes_marshaled
+        # A no-write call's return trip is just headers: well under
+        # half the round-trip bytes belong to the return leg.
+        assert forward_and_back < 2 * (forward_and_back / 2 + 40)
+        skipped = channel.codec.delta_fields_skipped
+        assert skipped >= 4   # n, m, peer, secret stayed home
+
+
+class TestHandleTable:
+    def test_round_trip_restores_kernel_object(self, kernel):
+        channel, _xpc = make_channel(kernel)
+        secret = xd_leaf(v=9)
+        obj = xd_state(secret=secret)
+        channel.kernel_tracker.register(obj)
+        crossing = {}
+
+        def func(twin):
+            crossing["handle"] = twin.secret
+            twin.secret = twin.secret   # hand the same handle back
+
+        channel.upcall(func, args=[(obj, xd_state)])
+        assert isinstance(crossing["handle"], int)   # user sees no object
+        assert obj.secret is secret                  # kernel got it back
+
+    def test_weak_entry_released_by_gc(self, kernel):
+        channel, _xpc = make_channel(kernel)
+        obj = xd_leaf(v=1)
+        handle = channel.handle_of(obj)
+        assert channel.object_of(handle) is obj
+        assert channel.handle_count() == 1
+        del obj
+        gc.collect()
+        assert channel.handle_count() == 0           # no leak
+
+    def test_non_weakrefable_falls_back_to_strong(self, kernel):
+        channel, _xpc = make_channel(kernel)
+        payload = [1, 2, 3]                          # lists have no weakrefs
+        handle = channel.handle_of(payload)
+        assert channel.object_of(handle) is payload
+        assert channel.handle_count() == 1
+
+    def test_release_on_close(self, kernel):
+        channel, _xpc = make_channel(kernel)
+        keep = [xd_leaf(v=i) for i in range(5)]
+        for obj in keep:
+            channel.handle_of(obj)
+        channel.handle_of([1, 2])
+        assert channel.handle_count() == 6
+        channel.close()
+        assert channel.handle_count() == 0
