@@ -16,6 +16,7 @@ mac_type decisions they would on hardware.
 """
 
 import struct
+from collections import deque
 
 from ..kernel.pci import PciBar, PciFunction
 
@@ -119,6 +120,11 @@ RXD_STAT_EOP = 0x02
 
 DESC_SIZE = 16
 
+# Precompiled descriptor codecs: the receive path touches these once per
+# packet, so the struct-format cache lookup is worth skipping.
+_RXD_ADDR = struct.Struct("<Q")
+_RXD_WRITEBACK = struct.Struct("<HHBBH")
+
 # PHY identifiers the driver knows.
 M88_PHY_ID1 = 0x0141
 M88_PHY_ID2 = 0x0C50
@@ -155,7 +161,7 @@ class E1000Device:
 
     def __init__(self, kernel, link, mac=b"\x00\x1B\x21\x3A\x4B\x5C",
                  device_id=0x100E, irq=10, mmio_base=0xF0000000,
-                 phy="m88"):
+                 phy="m88", itr_window_ns=None):
         self._kernel = kernel
         self.link = link
         link.nic_rx = self._link_rx
@@ -163,6 +169,10 @@ class E1000Device:
         self.device_id = device_id
         self.irq = irq
         self.phy_kind = phy
+        # Interrupt-throttle window; 0 selects true per-packet interrupts
+        # (the NAPI-ablation baseline).
+        self.itr_window_ns = (
+            self.ITR_WINDOW_NS if itr_window_ns is None else itr_window_ns)
 
         self.regs = {}
         self.eeprom = self._build_eeprom()
@@ -234,6 +244,18 @@ class E1000Device:
         if stale is not None:
             stale.cancel()
         self._itr_event = None
+        # Drop any in-flight TX completions and their pump event.
+        stale = getattr(self, "_tx_pump_event", None)
+        if stale is not None:
+            stale.cancel()
+        self._tx_pump_event = None
+        self._tx_done = deque()
+        # (region, count) memo for the RX ring; invalidated when the
+        # driver reprograms RDBAL/RDBAH/RDLEN.
+        self._rx_ring_cache = None
+        # (base, end, region) memo for the RX buffer arena every
+        # descriptor's buffer pointer resolves into.
+        self._rx_buf_cache = None
 
     # -- MMIO handler interface ----------------------------------------------------
 
@@ -264,6 +286,12 @@ class E1000Device:
             self._maybe_fire()
         elif offset == REG_IMC:
             self.regs[REG_IMS] = self.regs.get(REG_IMS, 0) & ~value
+        elif offset == REG_ITR:
+            # Interrupt throttle register: interval in 256 ns units
+            # (82540 spec); 0 disables throttling.  The driver's dynamic
+            # ITR reprograms this based on traffic class.
+            self.regs[REG_ITR] = value
+            self.itr_window_ns = value * 256
         elif offset == REG_TDT:
             self.regs[REG_TDT] = value
             self._process_tx_ring()
@@ -275,6 +303,8 @@ class E1000Device:
         elif offset == REG_TCTL:
             self.regs[REG_TCTL] = value
         else:
+            if offset in (REG_RDBAL, REG_RDBAH, REG_RDLEN):
+                self._rx_ring_cache = None
             self.regs[offset] = value
 
     # -- CTRL / reset / link -----------------------------------------------------------
@@ -340,19 +370,32 @@ class E1000Device:
     ITR_WINDOW_NS = 125_000
 
     def _assert_irq(self, causes):
-        self.regs[REG_ICR] = self.regs.get(REG_ICR, 0) | causes
+        regs = self.regs
+        icr = regs.get(REG_ICR, 0) | causes
+        regs[REG_ICR] = icr
+        # Fast paths: masked by IMS (the NAPI poll window) the cause only
+        # latches; with the ITR throttle window open it accumulates.
+        if not icr & regs.get(REG_IMS, 0):
+            return
+        ev = self._itr_event
+        if ev is not None and not ev.cancelled:
+            return
         self._maybe_fire()
 
     def _maybe_fire(self):
         if not self.regs.get(REG_ICR, 0) & self.regs.get(REG_IMS, 0):
+            return
+        if self.itr_window_ns <= 0:
+            # Throttling disabled: every unmasked cause fires at once.
+            self._kernel.irq.raise_irq(self.irq)
             return
         if self._itr_event is not None and not self._itr_event.cancelled:
             return  # throttled: causes accumulate until the window ends
         # Arm the throttle window BEFORE delivering: the handler's own
         # work can assert new causes synchronously, and those must see
         # the window open or they each arm an orphan window.
-        self._itr_event = self._kernel.events.schedule_after(
-            self.ITR_WINDOW_NS, self._itr_expire, name="e1000-itr"
+        self._itr_event = self._kernel.events.schedule_timer_after(
+            self.itr_window_ns, self._itr_expire, name="e1000-itr"
         )
         self._kernel.irq.raise_irq(self.irq)
 
@@ -395,22 +438,44 @@ class E1000Device:
             if frame is not None:
                 done_ns = self.link.transmit(frame)
                 self.frames_transmitted += 1
-            self._kernel.events.schedule_at(
-                done_ns,
-                self._complete_tx_desc(region, count, head, off, cmd),
-                name="e1000-txdone",
-            )
+            self._tx_done.append((done_ns, region, count, head, off, cmd))
             head = (head + 1) % count
         self.regs[REG_TDT_FETCHED] = head
+        self._arm_tx_pump()
 
-    def _complete_tx_desc(self, region, count, index, off, cmd):
-        def complete():
+    def _arm_tx_pump(self):
+        """Keep one completion event armed at the head descriptor's time.
+
+        Write-backs are batched: a single pump event completes every
+        descriptor whose wire time has passed, instead of one event per
+        descriptor.  Per-descriptor timing is unchanged -- the pump fires
+        exactly at the head's done time and re-arms for the next.
+        """
+        if not self._tx_done:
+            return
+        due_ns = self._tx_done[0][0]
+        ev = self._tx_pump_event
+        if ev is not None and not ev.cancelled:
+            if ev.time_ns <= due_ns:
+                return
+            ev.cancel()
+        self._tx_pump_event = self._kernel.events.schedule_timer_at(
+            due_ns, self._tx_pump, name="e1000-txdone"
+        )
+
+    def _tx_pump(self):
+        self._tx_pump_event = None
+        now_ns = self._kernel.clock.now_ns
+        want_irq = False
+        while self._tx_done and self._tx_done[0][0] <= now_ns:
+            _due, region, count, index, off, cmd = self._tx_done.popleft()
             if cmd & TXD_CMD_RS:
                 struct.pack_into("<B", region.data, off + 12, TXD_STAT_DD)
+                want_irq = True
             self.regs[REG_TDH] = (index + 1) % count
-            if cmd & TXD_CMD_RS:
-                self._assert_irq(ICR_TXDW)
-        return complete
+        if want_irq:
+            self._assert_irq(ICR_TXDW)
+        self._arm_tx_pump()
 
     # -- receive path ----------------------------------------------------------------------------
 
@@ -430,38 +495,66 @@ class E1000Device:
             self._pending_rx.pop(0)
 
     def _deliver_rx(self, frame):
-        region, count = self._ring(REG_RDBAL, REG_RDBAH, REG_RDLEN)
-        if region is None or count == 0:
-            return False
-        head = self.regs.get(REG_RDH, 0)
-        tail = self.regs.get(REG_RDT, 0) % count
+        cached = self._rx_ring_cache
+        if cached is None or cached[0].freed:
+            region, count = self._ring(REG_RDBAL, REG_RDBAH, REG_RDLEN)
+            if region is None or count == 0:
+                return False
+            self._rx_ring_cache = cached = (region, count)
+        region, count = cached
+        regs = self.regs
+        head = regs[REG_RDH]
+        tail = regs[REG_RDT] % count
         if head == tail:  # ring full from the device's perspective
             self.rx_no_buffer += 1
             return False
         off = head * DESC_SIZE
-        buf_addr, = struct.unpack_from("<Q", region.data, off)
-        if not self._dma_write(buf_addr, frame):
-            return False
-        struct.pack_into(
-            "<HHBBH", region.data, off + 8,
-            len(frame), 0, RXD_STAT_DD | RXD_STAT_EOP, 0, 0,
+        buf_addr, = _RXD_ADDR.unpack_from(region.data, off)
+        n = len(frame)
+        buf = self._rx_buf_cache
+        if (buf is not None and buf[0] <= buf_addr
+                and buf_addr + n <= buf[1] and not buf[2].freed):
+            data = buf[2].data
+            start = buf_addr - buf[0]
+            data[start:start + n] = frame
+        else:
+            buf_region, buf_off = self._kernel.memory.dma_find(buf_addr)
+            if buf_region is None or buf_off + n > len(buf_region.data):
+                return False
+            buf_region.data[buf_off:buf_off + n] = frame
+            base = buf_region.dma_addr
+            self._rx_buf_cache = (base, base + len(buf_region.data),
+                                  buf_region)
+        _RXD_WRITEBACK.pack_into(
+            region.data, off + 8,
+            n, 0, RXD_STAT_DD | RXD_STAT_EOP, 0, 0,
         )
-        self.regs[REG_RDH] = (head + 1) % count
+        regs[REG_RDH] = (head + 1) % count
         self.frames_received += 1
-        self._assert_irq(ICR_RXT0)
+        # Inlined _assert_irq(ICR_RXT0): latch, then fire only when the
+        # cause is unmasked and no throttle window is open.
+        icr = regs[REG_ICR] | ICR_RXT0
+        regs[REG_ICR] = icr
+        if icr & regs[REG_IMS]:
+            ev = self._itr_event
+            if ev is None or ev.cancelled:
+                self._maybe_fire()
         return True
 
     # -- DMA helpers ---------------------------------------------------------------------------------
 
     def _dma_read(self, addr, length):
+        # Zero-copy: the link copies the view at transmit() time, so a
+        # reused TX buffer cannot corrupt an in-flight frame.
         region, offset = self._kernel.memory.dma_find(addr)
         if region is None:
             return None
-        return bytes(region.data[offset:offset + length])
+        return memoryview(region.data)[offset:offset + length]
 
     def _dma_write(self, addr, data):
         region, offset = self._kernel.memory.dma_find(addr)
-        if region is None or offset + len(data) > len(region.data):
+        n = len(data)
+        if region is None or offset + n > len(region.data):
             return False
-        region.data[offset:offset + len(data)] = data
+        region.data[offset:offset + n] = data
         return True

@@ -45,7 +45,9 @@ class EthernetLink:
         self.rx_frames += 1
         self.rx_bytes += len(frame)
         if self.nic_rx is not None:
-            self.nic_rx(bytes(frame))
+            if type(frame) is not bytes:
+                frame = bytes(frame)
+            self.nic_rx(frame)
 
 
 class TrafficGenerator:
@@ -58,12 +60,29 @@ class TrafficGenerator:
         self.utilization = utilization
         self._running = False
         self.frames_sent = 0
+        # Frozen at start(): the payload and pacing interval are
+        # constant for a run, so the per-frame tick does no arithmetic
+        # and no allocation.
+        self._payload = b""
+        self._interval_ns = 0
+        self._stop_at_ns = None
 
     def interframe_ns(self):
         return int(self._link.frame_time_ns(self.frame_bytes) / self.utilization)
 
-    def start(self):
+    def start(self, stop_at_ns=None):
+        """Begin injecting; ``stop_at_ns`` is a hard virtual deadline.
+
+        A nested ``run_until`` (an event handler that consumes time near
+        the end of a run) can overshoot the caller's target and fire
+        ticks past it; the deadline makes the injected frame count a
+        function of the duration alone, not of which handler happened to
+        straddle the boundary.
+        """
         self._running = True
+        self._stop_at_ns = stop_at_ns
+        self._payload = bytes(self.frame_bytes)
+        self._interval_ns = self.interframe_ns()
         self._schedule_next()
 
     def stop(self):
@@ -73,15 +92,20 @@ class TrafficGenerator:
         if not self._running:
             return
         self._kernel.events.schedule_after(
-            self.interframe_ns(), self._tick, context="process", name="trafficgen"
+            self._interval_ns, self._tick, context="process", name="trafficgen"
         )
 
     def _tick(self):
         if not self._running:
             return
+        stop_at = self._stop_at_ns
+        if stop_at is not None and self._kernel.clock.now_ns > stop_at:
+            self._running = False
+            return
         # Schedule the next frame BEFORE processing this one, so the
         # injection rate is independent of receive-side processing time.
-        self._schedule_next()
-        payload = bytes(self.frame_bytes)
-        self._link.inject(payload)
+        self._kernel.events.schedule_after(
+            self._interval_ns, self._tick, context="process", name="trafficgen"
+        )
+        self._link.inject(self._payload)
         self.frames_sent += 1

@@ -289,12 +289,18 @@ class E1000Nucleus:
 
     def k_free_irq(self):
         if self.irq_requested:
+            # NAPI must be gone (line unmasked) before free_irq: free_irq
+            # does not reset the line's disable depth.
+            legacy.e1000_napi_del()
             self.linux.free_irq(self.pdev.irq, self.netdev)
             self.irq_requested = False
         return 0
 
     def k_up(self, adapter):
         hw = adapter.hw
+        # The datapath (interrupt handler, poll, rings) is the legacy
+        # code unchanged, so NAPI bring-up is shared with it too.
+        legacy.e1000_napi_up(self.netdev)
         self.kernel.io.writel(hw_defs.E1000_IMS_ENABLE_MASK,
                               hw.hw_addr + hw_defs.IMS)
         self.start_watchdog()
@@ -304,6 +310,7 @@ class E1000Nucleus:
     def k_down(self, adapter):
         hw = adapter.hw
         self.kernel.io.writel(0xFFFFFFFF, hw.hw_addr + hw_defs.IMC)
+        legacy.e1000_napi_down()
         self.k_stop_watchdog()
         self.linux.netif_stop_queue(self.netdev)
         self.linux.netif_carrier_off(self.netdev)
@@ -357,8 +364,9 @@ class _PciGlue:
                 and func.device_id in E1000_DEVICE_IDS)
 
 
-def make_module(options=None):
+def make_module(options=None, napi=True):
     def setup(kernel):
+        legacy.set_napi_mode(napi)
         nucleus = E1000Nucleus(kernel)
         nucleus.module_options = options
         return nucleus

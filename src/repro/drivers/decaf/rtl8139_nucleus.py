@@ -178,6 +178,9 @@ class Rtl8139Nucleus:
         )
 
     def k_free_irq(self, tp):
+        # NAPI must be gone (line unmasked) before free_irq: free_irq
+        # does not reset the line's disable depth.
+        legacy.rtl8139_napi_del()
         self.linux.free_irq(tp.irq, legacy._state.netdev)
         return 0
 
@@ -226,5 +229,9 @@ class _PciGlue:
         return (func.vendor_id, func.device_id) in self.id_table
 
 
-def make_module():
-    return DecafDriverModule(DRV_NAME, Rtl8139Nucleus)
+def make_module(napi=True):
+    def setup(kernel):
+        legacy.set_napi_mode(napi)
+        return Rtl8139Nucleus(kernel)
+
+    return DecafDriverModule(DRV_NAME, setup)

@@ -37,6 +37,16 @@ linux = None  # bound at insmod (shared with e1000_hw via module glue)
 DRV_NAME = "e1000"
 DRV_VERSION = "7.0.33-k2"
 
+# Interrupt mode: True = NAPI polling (the default), False = the original
+# per-packet interrupt path, kept selectable for the datapath ablation.
+napi_mode = True
+E1000_NAPI_WEIGHT = 64
+
+
+def set_napi_mode(enabled):
+    global napi_mode
+    napi_mode = bool(enabled)
+
 E1000_VENDOR_ID = 0x8086
 
 E1000_DEFAULT_TXD = 256
@@ -139,6 +149,7 @@ class e1000_state:
         self.watchdog_timer = None
         self.irq_requested = False
         self.device_model = None
+        self.napi = None
 
 
 _state = e1000_state()
@@ -338,6 +349,9 @@ def e1000_open(netdev):
 def e1000_close(netdev):
     adapter = netdev.priv
     e1000_down(adapter)
+    # NAPI must be gone (and the IRQ line unmasked) before free_irq:
+    # free_irq does not reset the line's disable depth.
+    e1000_napi_del()
     e1000_power_down_phy(adapter)
     e1000_free_irq(adapter)
     e1000_free_all_rx_resources(adapter)
@@ -450,8 +464,30 @@ def e1000_free_rx_resources(adapter, rx_ring):
 # Up / down / reset
 # ---------------------------------------------------------------------------
 
+def e1000_napi_up(netdev):
+    """Create/enable the NAPI context (shared with the decaf nucleus)."""
+    if not napi_mode:
+        return
+    if _state.napi is None:
+        _state.napi = linux.netif_napi_add(netdev, e1000_poll,
+                                           weight=E1000_NAPI_WEIGHT)
+    linux.napi_enable(_state.napi)
+
+
+def e1000_napi_down():
+    if _state.napi is not None:
+        linux.napi_disable(_state.napi)
+
+
+def e1000_napi_del():
+    if _state.napi is not None:
+        linux.napi_disable(_state.napi)
+        _state.napi = None
+
+
 def e1000_up(adapter):
     e1000_configure(adapter)
+    e1000_napi_up(_state.netdev)
     E1000_WRITE_REG(adapter.hw, e1000_hw.IMS, e1000_hw.E1000_IMS_ENABLE_MASK)
     linux.mod_timer(_state.watchdog_timer, 2000)
     linux.netif_start_queue(_state.netdev)
@@ -460,6 +496,7 @@ def e1000_up(adapter):
 
 def e1000_down(adapter):
     E1000_WRITE_REG(adapter.hw, e1000_hw.IMC, 0xFFFFFFFF)
+    e1000_napi_down()
     linux.del_timer_sync(_state.watchdog_timer)
     linux.netif_stop_queue(_state.netdev)
     linux.netif_carrier_off(_state.netdev)
@@ -517,6 +554,11 @@ def e1000_configure_rx(adapter):
     E1000_WRITE_REG(hw, e1000_hw.RDT, 0)
     rx_ring.rdh = 0
     rx_ring.rdt = 0
+    if napi_mode:
+        # Dynamic-conservative ITR, bulk-latency class: throttle to
+        # 4000 ints/s (e1000_set_itr's bottom tier) so each softirq
+        # poll drains a larger batch.  Units of 256 ns.
+        E1000_WRITE_REG(hw, e1000_hw.ITR, 1_000_000_000 // (4000 * 256))
 
 
 def e1000_alloc_rx_buffers(adapter, rx_ring):
@@ -612,38 +654,56 @@ def e1000_clean_tx_irq(adapter, tx_ring):
 # Receive path (stays in the kernel)
 # ---------------------------------------------------------------------------
 
-def e1000_clean_rx_irq(adapter, rx_ring):
+def e1000_clean_rx_irq(adapter, rx_ring, budget=None):
+    """Clean received descriptors; at most ``budget`` under NAPI.
+
+    The per-packet-interrupt path (``budget is None``) copies each frame
+    into a fresh skb and delivers through ``netif_rx``, exactly as the
+    original driver.  The NAPI path copies into a pooled zero-copy skb
+    and delivers through ``netif_receive_skb``.
+    """
     netdev = _state.netdev
+    napi_path = budget is not None and napi_mode
+    desc = rx_ring.desc.data
+    buffers = memoryview(rx_ring.buffer_region.data)
+    rx_buffer_len = adapter.rx_buffer_len
+    alloc_skb = linux.napi_alloc_skb
+    receive_skb = linux.netif_receive_skb
     cleaned = 0
+    cleaned_bytes = 0
     i = rx_ring.next_to_clean
-    while True:
+    while budget is None or cleaned < budget:
         base = i * E1000_RX_DESC_SIZE
-        buf_addr, length, _csum, status, errors, _special = _pystruct.unpack_from(
-            "<QHHBBH", rx_ring.desc.data, base
-        )
+        # Descriptor layout: addr(8) length(2) csum(2) status(1) ...
+        status = desc[base + 12]
         if not status & E1000_RXD_STAT_DD:
             break
-        buf_off = i * adapter.rx_buffer_len
-        frame = bytes(
-            rx_ring.buffer_region.data[buf_off:buf_off + length]
-        )
-        skb = linux.skb_from_data(frame)
-        linux.netif_rx(netdev, skb)
-        adapter.net_stats.rx_packets += 1
-        adapter.net_stats.rx_bytes += length
-        netdev.stats.rx_packets += 1
-        netdev.stats.rx_bytes += length
-        # Clear status, hand the descriptor back to hardware.
-        _pystruct.pack_into("<HHBBH", rx_ring.desc.data, base + 8,
-                            0, 0, 0, 0, 0)
+        length = desc[base + 8] | (desc[base + 9] << 8)
+        buf_off = i * rx_buffer_len
+        if napi_path:
+            skb = alloc_skb(length)
+            skb.data[0:length] = buffers[buf_off:buf_off + length]
+            receive_skb(netdev, skb)
+        else:
+            frame = bytes(buffers[buf_off:buf_off + length])
+            skb = linux.skb_from_data(frame)
+            linux.netif_rx(netdev, skb)
+        # Clear status, hand the descriptor back to hardware (the
+        # device rewrites length/csum on the next use of this slot).
+        desc[base + 12] = 0
         i = (i + 1) % rx_ring.count
         cleaned += 1
+        cleaned_bytes += length
         # Return descriptors to the device in small batches.
         if cleaned % 16 == 0:
             rx_ring.rdt = (i - 1) % rx_ring.count
             E1000_WRITE_REG(adapter.hw, e1000_hw.RDT, rx_ring.rdt)
     rx_ring.next_to_clean = i
     if cleaned:
+        adapter.net_stats.rx_packets += cleaned
+        adapter.net_stats.rx_bytes += cleaned_bytes
+        netdev.stats.rx_packets += cleaned
+        netdev.stats.rx_bytes += cleaned_bytes
         rx_ring.rdt = (i - 1) % rx_ring.count
         E1000_WRITE_REG(adapter.hw, e1000_hw.RDT, rx_ring.rdt)
     return cleaned
@@ -665,11 +725,34 @@ def e1000_intr(irq, dev_id):
         hw.get_link_status = 1
         linux.mod_timer(_state.watchdog_timer, 1)
 
+    work_causes = (e1000_hw.E1000_ICR_RXT0 | e1000_hw.E1000_ICR_RXDMT0
+                   | e1000_hw.E1000_ICR_TXDW)
+    if napi_mode and _state.napi is not None and icr & work_causes:
+        # NAPI: mask device interrupts and punt all ring work to the
+        # softirq poll; e1000_poll re-enables on napi_complete.
+        E1000_WRITE_REG(hw, e1000_hw.IMC, 0xFFFFFFFF)
+        linux.napi_schedule(_state.napi)
+        return linux.IRQ_HANDLED
+
     if icr & (e1000_hw.E1000_ICR_RXT0 | e1000_hw.E1000_ICR_RXDMT0):
         e1000_clean_rx_irq(adapter, adapter.rx_ring)
     if icr & e1000_hw.E1000_ICR_TXDW:
         e1000_clean_tx_irq(adapter, adapter.tx_ring)
     return linux.IRQ_HANDLED
+
+
+def e1000_poll(napi, budget):
+    """NAPI poll: drain both rings, re-enable interrupts when caught up."""
+    adapter = _state.adapter
+    e1000_clean_tx_irq(adapter, adapter.tx_ring)
+    work_done = e1000_clean_rx_irq(adapter, adapter.rx_ring, budget)
+    if work_done < budget:
+        linux.napi_complete(napi)
+        # Re-enabling IMS re-fires immediately if causes latched in ICR
+        # while we polled, so nothing is stranded in the ring.
+        E1000_WRITE_REG(adapter.hw, e1000_hw.IMS,
+                        e1000_hw.E1000_IMS_ENABLE_MASK)
+    return work_done
 
 
 # ---------------------------------------------------------------------------
@@ -832,9 +915,14 @@ class E1000PciGlue:
                 and func.device_id in E1000_DEVICE_IDS)
 
 
-def make_module():
+def make_module(napi=True):
     from ..modulebase import LegacyDriverModule
     from . import e1000_ethtool, e1000_param
+
+    def init_fn():
+        # Runs after the module loader resets _state, before probe.
+        set_napi_mode(napi)
+        return e1000_init_module()
 
     # e1000 spans several source files sharing one `linux` binding.
     return LegacyDriverModule(
@@ -842,6 +930,6 @@ def make_module():
         driver_module=__import__(__name__, fromlist=["*"]),
         extra_modules=(e1000_hw, e1000_param, e1000_ethtool),
         pci_glue=E1000PciGlue(),
-        init_fn=e1000_init_module,
+        init_fn=init_fn,
         cleanup_fn=e1000_exit_module,
     )

@@ -50,6 +50,17 @@ ISR_TOK = 0x0004
 ISR_TER = 0x0008
 ISR_RXOVW = 0x0010
 INT_MASK = ISR_ROK | ISR_RER | ISR_TOK | ISR_TER | ISR_RXOVW
+RX_INT_MASK = ISR_ROK | ISR_RER | ISR_RXOVW
+
+# Interrupt mode: True = NAPI polling (the default), False = the original
+# per-packet interrupt path, kept selectable for the datapath ablation.
+napi_mode = True
+RTL8139_NAPI_WEIGHT = 64
+
+
+def set_napi_mode(enabled):
+    global napi_mode
+    napi_mode = bool(enabled)
 
 # TSD bits.
 TSD_OWN = 1 << 13
@@ -116,6 +127,7 @@ class rtl8139_driver_state:
         self.tx_bufs_dma = None
         self.thread_timer = None
         self.device_model = None  # test visibility only
+        self.napi = None
 
 
 # One active instance, as the bench uses one NIC (the real driver keeps
@@ -291,6 +303,25 @@ def rtl8139_init_ring(dev):
     return 0
 
 
+def rtl8139_napi_up(dev):
+    """Create/enable the NAPI context (shared with the decaf nucleus).
+
+    Idempotent: tx_timeout recovery re-runs hw_start on a live NAPI.
+    """
+    if not napi_mode:
+        return
+    if _state.napi is None:
+        _state.napi = linux.netif_napi_add(dev, rtl8139_poll,
+                                           weight=RTL8139_NAPI_WEIGHT)
+    linux.napi_enable(_state.napi)
+
+
+def rtl8139_napi_del():
+    if _state.napi is not None:
+        linux.napi_disable(_state.napi)
+        _state.napi = None
+
+
 def rtl8139_hw_start(dev):
     """Program the chip to its running configuration."""
     tp = dev.priv
@@ -302,6 +333,7 @@ def rtl8139_hw_start(dev):
     rtl8139_set_rx_mode(dev)
     RTL_W8(tp, CFG9346, 0x00)  # lock config registers
     RTL_W8(tp, CR, CR_RE | CR_TE)
+    rtl8139_napi_up(dev)
     RTL_W16(tp, IMR, INT_MASK)
     linux.netif_start_queue(dev)
     dev.netif_carrier_on()
@@ -314,6 +346,9 @@ def rtl8139_close(dev):
     RTL_W16(tp, IMR, 0)
     RTL_W8(tp, CR, 0)
     rtl8139_stop_thread(tp)
+    # NAPI must be gone (and the IRQ line unmasked) before free_irq:
+    # free_irq does not reset the line's disable depth.
+    rtl8139_napi_del()
     linux.free_irq(tp.irq, dev)
     rtl8139_tx_clear(tp)
     rtl8139_free_rings()
@@ -388,26 +423,49 @@ def rtl8139_tx_timeout(dev):
 # Receive
 # ---------------------------------------------------------------------------
 
-def rtl8139_rx(dev, tp):
-    """Drain the receive ring; called from the interrupt handler."""
+def rtl8139_rx(dev, tp, budget=None):
+    """Drain the receive ring; at most ``budget`` packets under NAPI.
+
+    The per-packet-interrupt path (``budget is None``) copies each frame
+    into a fresh skb via ``netif_rx``, exactly as the original driver;
+    the NAPI path copies into a pooled zero-copy skb and delivers
+    through ``netif_receive_skb``.
+    """
     import struct as _pystruct
 
     ring = _state.rx_ring_dma.data
+    napi_path = budget is not None and napi_mode
+    if napi_path:
+        ring_view = memoryview(ring)
     received = 0
     while not RTL_R8(tp, CR) & CR_BUFE:
+        if budget is not None and received >= budget:
+            break
         offset = tp.cur_rx % RX_RING_SIZE
         rx_status, rx_size = _pystruct.unpack_from("<HH", ring, offset)
         if not rx_status & RX_STAT_ROK:
             rtl8139_rx_err(rx_status, dev, tp)
             break
         pkt_size = rx_size - 4
-        frame = bytes(ring[offset + 4:offset + 4 + pkt_size])
-        if len(frame) < pkt_size:
-            # Wrapped packet: reassemble across the ring boundary.
-            rest = pkt_size - len(frame)
-            frame += bytes(ring[0:rest])
-        skb = linux.skb_from_data(frame)
-        linux.netif_rx(dev, skb)
+        if napi_path:
+            skb = linux.napi_alloc_skb(pkt_size)
+            first = min(pkt_size, RX_RING_SIZE - (offset + 4))
+            skb.data[0:first] = ring_view[offset + 4:offset + 4 + first]
+            if first < pkt_size:
+                # Wrapped packet: second copy from the ring start.
+                skb.data[first:pkt_size] = ring_view[0:pkt_size - first]
+            linux.netif_receive_skb(dev, skb)
+        else:
+            # Wrap where the device does (RX_RING_SIZE), not at the end
+            # of the slack-padded DMA buffer.
+            end = min(offset + 4 + pkt_size, RX_RING_SIZE)
+            frame = bytes(ring[offset + 4:end])
+            if len(frame) < pkt_size:
+                # Wrapped packet: reassemble across the ring boundary.
+                rest = pkt_size - len(frame)
+                frame += bytes(ring[0:rest])
+            skb = linux.skb_from_data(frame)
+            linux.netif_rx(dev, skb)
         tp.stats.rx_packets += 1
         tp.stats.rx_bytes += pkt_size
         dev.stats.rx_packets += 1
@@ -436,11 +494,34 @@ def rtl8139_interrupt(irq, dev_id):
     if status == 0:
         return linux.IRQ_NONE
     RTL_W16(tp, ISR, status)  # ack (write-1-to-clear)
-    if status & (ISR_ROK | ISR_RER | ISR_RXOVW):
-        rtl8139_rx(dev, tp)
+    if status & RX_INT_MASK:
+        if napi_mode and _state.napi is not None:
+            # NAPI: mask receive interrupts and punt ring drain to the
+            # softirq poll; rtl8139_poll restores IMR on completion.
+            RTL_W16(tp, IMR, INT_MASK & ~RX_INT_MASK)
+            linux.napi_schedule(_state.napi)
+        else:
+            rtl8139_rx(dev, tp)
     if status & (ISR_TOK | ISR_TER):
         rtl8139_tx_interrupt(dev, tp)
     return linux.IRQ_HANDLED
+
+
+def rtl8139_poll(napi, budget):
+    """NAPI poll: budgeted ring drain in softirq context."""
+    dev = _state.netdev
+    tp = dev.priv
+    work_done = rtl8139_rx(dev, tp, budget)
+    if work_done < budget:
+        linux.napi_complete(napi)
+        RTL_W16(tp, IMR, INT_MASK)
+        # Unlike the e1000's ICR/IMS latch, this chip only interrupts on
+        # new frame arrival: a frame that landed mid-poll would strand
+        # until the next one, so re-check the ring and re-schedule.
+        if not RTL_R8(tp, CR) & CR_BUFE:
+            RTL_W16(tp, IMR, INT_MASK & ~RX_INT_MASK)
+            linux.napi_schedule(napi)
+    return work_done
 
 
 # ---------------------------------------------------------------------------
@@ -542,14 +623,19 @@ class Rtl8139PciGlue:
         return (func.vendor_id, func.device_id) in self.id_table
 
 
-def make_module():
+def make_module(napi=True):
     """Build the loadable module object for this driver."""
     from ...drivers.modulebase import LegacyDriverModule
+
+    def init_fn():
+        # Runs after the module loader resets _state, before probe.
+        set_napi_mode(napi)
+        return rtl8139_init_module()
 
     return LegacyDriverModule(
         name=DRV_NAME,
         driver_module=__import__(__name__, fromlist=["*"]),
         pci_glue=Rtl8139PciGlue(),
-        init_fn=rtl8139_init_module,
+        init_fn=init_fn,
         cleanup_fn=rtl8139_cleanup_module,
     )

@@ -52,6 +52,9 @@ class LinuxApi:
 
     def __init__(self, kernel):
         self.kernel = kernel
+        # Hot-path passthrough bound once: NAPI delivery runs once per
+        # packet and the extra wrapper frame is measurable.
+        self.netif_receive_skb = kernel.net.netif_receive_skb
 
     # -- time ------------------------------------------------------------------
 
@@ -273,6 +276,35 @@ class LinuxApi:
 
     def skb_from_data(self, data):
         return SkBuff(data)
+
+    # -- NAPI -------------------------------------------------------------------------------------
+
+    def netif_napi_add(self, dev, poll, weight=64):
+        return self.kernel.net.napi.register(
+            dev, poll, weight=weight, irq=dev.irq)
+
+    def napi_enable(self, napi):
+        self.kernel.net.napi.enable(napi)
+
+    def napi_disable(self, napi):
+        self.kernel.net.napi.disable(napi)
+
+    def napi_schedule(self, napi):
+        return self.kernel.net.napi.schedule(napi)
+
+    def napi_complete(self, napi):
+        self.kernel.net.napi.complete(napi)
+
+    def netif_receive_skb(self, dev, skb):
+        return self.kernel.net.netif_receive_skb(dev, skb)
+
+    def napi_alloc_skb(self, size):
+        """Zero-copy rx skb backed by the pooled DMA arena."""
+        pool = self.kernel.net.get_skb_pool()
+        # Rebind to the pool's allocator so later calls on this instance
+        # go straight to it -- this runs once per packet on the rx path.
+        self.napi_alloc_skb = pool.alloc
+        return pool.alloc(size)
 
     # -- sound ------------------------------------------------------------------------------------
 

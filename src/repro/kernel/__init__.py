@@ -27,6 +27,7 @@ from .irq import IRQ_HANDLED, IRQ_NONE, IrqController
 from .locks import Mutex, Semaphore, SpinLock
 from .memory import GFP_ATOMIC, GFP_KERNEL, MemoryManager
 from .module import KernelModule, ModuleLoader
+from .napi import NapiCore, NapiStruct
 from .netdev import (
     NETDEV_TX_BUSY,
     NETDEV_TX_OK,
@@ -34,6 +35,7 @@ from .netdev import (
     NetDeviceStats,
     NetworkCore,
     SkBuff,
+    SkbPool,
 )
 from .pci import PciBar, PciBus, PciDriver, PciFunction
 from .sound import (
@@ -89,6 +91,9 @@ __all__ = [
     "IRQ_NONE",
     "NetDevice",
     "SkBuff",
+    "SkbPool",
+    "NapiCore",
+    "NapiStruct",
     "NETDEV_TX_OK",
     "NETDEV_TX_BUSY",
     "PciBus",

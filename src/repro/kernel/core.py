@@ -70,16 +70,21 @@ class Kernel:
         because the clock only moves forward.
         """
         self._advancing += 1
+        clock = self.clock
+        pop_due = self.events.pop_due
+        dispatch = self._dispatch_event
         try:
             while True:
-                ev = self.events.pop_due(target_ns)
+                ev = pop_due(target_ns)
                 if ev is None:
                     break
-                if ev.time_ns > self.clock.now_ns:
-                    self.clock._set(ev.time_ns)
-                self._dispatch_event(ev)
-            if target_ns > self.clock.now_ns:
-                self.clock._set(target_ns)
+                # Monotonicity holds by construction here: pop_due only
+                # returns events at or after the current time.
+                if ev.time_ns > clock._now_ns:
+                    clock._now_ns = ev.time_ns
+                dispatch(ev)
+            if target_ns > clock._now_ns:
+                clock._now_ns = target_ns
         finally:
             self._advancing -= 1
 

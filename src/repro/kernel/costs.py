@@ -25,6 +25,9 @@ class CostModel:
 
     # Interrupt delivery and handling overhead.
     irq_entry_ns: int = 800
+    # Fixed cost of one net-rx softirq run (raise, dispatch, poll-list
+    # bookkeeping); amortized over every packet drained by the poll.
+    softirq_ns: int = 500
 
     # Packet-path CPU costs (per packet, excluding copies).  Calibrated
     # so gigabit receive lands near the paper's ~20% CPU and transmit

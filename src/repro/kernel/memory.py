@@ -57,6 +57,7 @@ class MemoryManager:
         self._next_dma = 0x8000_0000
         self._live = {}
         self._dma_regions = {}
+        self._dma_hit = None  # last region resolved by dma_find
         self.alloc_count = 0
         self.fail_next = 0  # fault injection: fail the next N allocations
 
@@ -118,6 +119,8 @@ class MemoryManager:
         region.freed = True
         del self._dma_regions[region.dma_addr]
         self._used -= len(region.data)
+        if self._dma_hit is region:
+            self._dma_hit = None
 
     def dma_region(self, dma_addr):
         """Device-side lookup of a DMA region by bus address."""
@@ -127,13 +130,22 @@ class MemoryManager:
         """Resolve any bus address to ``(region, offset)`` or (None, 0).
 
         Supports addresses pointing into the middle of a region, which is
-        how devices see buffer pointers in descriptor rings.
+        how devices see buffer pointers in descriptor rings.  Datapath
+        lookups hit the same region (the rx/tx buffer arena) for every
+        packet, so the last resolved region is checked first.
         """
+        hit = self._dma_hit
+        if hit is not None:
+            base = hit.dma_addr
+            if base <= addr < base + len(hit.data):
+                return hit, addr - base
         region = self._dma_regions.get(addr)
         if region is not None:
+            self._dma_hit = region
             return region, 0
         for base, region in self._dma_regions.items():
             if base <= addr < base + len(region.data):
+                self._dma_hit = region
                 return region, addr - base
         return None, 0
 

@@ -1,0 +1,197 @@
+"""NAPI-style polled packet receive.
+
+Per-packet interrupts dominate receive cost at high packet rates: every
+frame pays interrupt entry, a register read, and a trip through the
+event dispatcher.  NAPI inverts this.  The interrupt handler masks the
+device's interrupt sources and calls :meth:`NapiCore.schedule`; the core
+masks the IRQ *line*, queues the context on its poll list, and raises a
+net-rx softirq.  The softirq's budget loop then calls each driver's
+``poll(napi, budget)`` to drain up to ``budget`` descriptors per trip,
+and the driver calls :meth:`NapiCore.complete` + re-enables device
+interrupts only when the ring is empty.  One interrupt therefore covers
+an entire burst.
+
+Invariants enforced here (the "checkable protocol"):
+
+* ``poll`` runs in softirq context -- scheduling uses a SOFTIRQ event,
+  and ``_net_rx_action`` verifies ``in_softirq()``.
+* The device's IRQ line stays masked for the whole time its NAPI context
+  sits on the poll list; polling with the line enabled raises
+  :class:`SimulationError` (lost-wakeup/reentrancy hazard in real NAPI).
+* A context can be scheduled at most once (``scheduled`` latch), and a
+  disabled context cannot be scheduled at all.
+"""
+
+from collections import deque
+
+from .context import SOFTIRQ
+from .errors import SimulationError
+
+
+class NapiStruct:
+    """Per-driver NAPI context; mirrors ``struct napi_struct``."""
+
+    def __init__(self, core, dev, poll, weight=64, irq=None, name=None):
+        self._core = core
+        self.dev = dev
+        self.poll = poll
+        self.weight = weight
+        self.irq = irq
+        self.name = name or getattr(dev, "name", "napi")
+        self.scheduled = False
+        self.disabled = True  # drivers must napi_enable() before use
+        self._line_masked = False
+        # Counters (per context).
+        self.polls = 0
+        self.work_total = 0
+
+    def __repr__(self):
+        return "<NapiStruct %s weight=%d%s%s>" % (
+            self.name, self.weight,
+            " scheduled" if self.scheduled else "",
+            " disabled" if self.disabled else "")
+
+
+class NapiCore:
+    """The net-rx softirq: poll list, budget loop, counters."""
+
+    DEFAULT_BUDGET = 300  # netdev_budget: max packets per softirq run
+
+    def __init__(self, kernel, net):
+        self._kernel = kernel
+        self._net = net
+        self.budget = self.DEFAULT_BUDGET
+        self._list = deque()
+        self._softirq_pending = False
+        self._running = False
+        # Counters (global, across all contexts).
+        self.polls = 0
+        self.work_total = 0
+        self.budget_exhaustions = 0
+        self.softirq_runs = 0
+        self.schedules = 0
+        self.packets_per_poll = {}  # work_done -> count
+
+    # -- driver API ----------------------------------------------------------
+
+    def register(self, dev, poll, weight=64, irq=None, name=None):
+        """``netif_napi_add``: create a context (still disabled).
+
+        Also ensures the shared zero-copy skb pool exists; this runs from
+        the driver's open path in process context, where the pool's DMA
+        arena may legally be allocated (``dma_alloc_coherent`` sleeps).
+        """
+        self._net.get_skb_pool()
+        return NapiStruct(self, dev, poll, weight=weight, irq=irq, name=name)
+
+    def enable(self, napi):
+        napi.disabled = False
+
+    def disable(self, napi):
+        """``napi_disable``: unschedule and unmask; poll will not run."""
+        napi.disabled = True
+        napi.scheduled = False
+        try:
+            self._list.remove(napi)
+        except ValueError:
+            pass
+        self._unmask(napi)
+
+    def schedule(self, napi):
+        """``napi_schedule`` from the interrupt handler.
+
+        Masks the IRQ line, queues the context, raises the softirq.
+        Returns True if newly scheduled.
+        """
+        if napi.disabled or napi.scheduled:
+            return False
+        napi.scheduled = True
+        self.schedules += 1
+        if napi.irq is not None:
+            self._kernel.irq.disable_irq(napi.irq)
+            napi._line_masked = True
+        if napi not in self._list:
+            self._list.append(napi)
+        self._raise_softirq()
+        return True
+
+    def complete(self, napi):
+        """``napi_complete``: ring drained; unmask and allow rescheduling."""
+        napi.scheduled = False
+        self._unmask(napi)
+
+    def _unmask(self, napi):
+        if napi._line_masked:
+            napi._line_masked = False
+            # A cause latched while masked is delivered here, which can
+            # re-enter schedule() -- by then `scheduled` is clear again.
+            self._kernel.irq.enable_irq(napi.irq)
+
+    # -- softirq -------------------------------------------------------------
+
+    def _raise_softirq(self):
+        if self._softirq_pending or self._running:
+            return
+        self._softirq_pending = True
+        self._kernel.events.schedule_after(
+            0, self._net_rx_action, context=SOFTIRQ, name="net-rx-softirq"
+        )
+
+    def _net_rx_action(self):
+        """The budget loop (``net_rx_action`` in Linux)."""
+        self._softirq_pending = False
+        kernel = self._kernel
+        if not kernel.context.in_softirq():
+            raise SimulationError("net_rx_action outside softirq context")
+        self.softirq_runs += 1
+        kernel.cpu.charge(kernel.costs.softirq_ns, "softirq")
+        budget = self.budget
+        self._running = True
+        try:
+            while self._list:
+                if budget <= 0:
+                    self.budget_exhaustions += 1
+                    break
+                napi = self._list.popleft()
+                if napi.disabled or not napi.scheduled:
+                    # Stale entry: disabled, or completed and re-queued
+                    # by a latched IRQ firing inside napi_complete().
+                    continue
+                if napi.irq is not None and \
+                        not kernel.irq.irq_disabled(napi.irq):
+                    raise SimulationError(
+                        "NAPI poll for %s with IRQ %d unmasked" %
+                        (napi.name, napi.irq))
+                weight = min(napi.weight, budget)
+                work = napi.poll(napi, weight)
+                self._net.flush_rx_batch()
+                self.polls += 1
+                napi.polls += 1
+                self.work_total += work
+                napi.work_total += work
+                self.packets_per_poll[work] = \
+                    self.packets_per_poll.get(work, 0) + 1
+                budget -= work
+                if napi.scheduled and napi not in self._list:
+                    # Did not complete: ring still has work; round-robin.
+                    # (A latched IRQ inside complete() may have already
+                    # re-queued it -- don't create a duplicate entry.)
+                    self._list.append(napi)
+        finally:
+            self._running = False
+        if self._list:
+            # Out of budget with work pending: yield and re-raise, like
+            # ksoftirqd punting to the next softirq iteration.
+            self._raise_softirq()
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self):
+        return {
+            "polls": self.polls,
+            "work_total": self.work_total,
+            "budget_exhaustions": self.budget_exhaustions,
+            "softirq_runs": self.softirq_runs,
+            "schedules": self.schedules,
+            "packets_per_poll": dict(self.packets_per_poll),
+        }

@@ -11,7 +11,10 @@ This mirrors enough of the Linux data path that the 8139too and E1000
 drivers' performance-critical code is structurally the same as in C.
 """
 
+from collections import deque
+
 from .errors import EBUSY, ENODEV
+from .napi import NapiCore
 
 NETDEV_TX_OK = 0
 NETDEV_TX_BUSY = 1
@@ -22,18 +25,96 @@ IFF_ALLMULTI = 0x200
 
 
 class SkBuff:
-    """A socket buffer: payload plus bookkeeping."""
+    """A socket buffer: payload plus bookkeeping.
 
-    __slots__ = ("data", "protocol", "timestamp_ns", "dev")
+    ``data`` is either ``bytes`` (legacy per-packet allocation) or a
+    writable ``memoryview`` slice of the pooled DMA arena (zero-copy
+    NAPI path).  Pooled buffers must be returned with :meth:`recycle`
+    once the stack is done with them; ``recycle`` on a non-pooled skb is
+    a no-op.
+    """
+
+    __slots__ = ("data", "protocol", "timestamp_ns", "dev", "_pool", "_slot")
 
     def __init__(self, data, protocol=0x0800):
-        self.data = bytes(data)
+        self.data = data if type(data) is memoryview else bytes(data)
         self.protocol = protocol
         self.timestamp_ns = 0
         self.dev = None
+        self._pool = None
+        self._slot = -1
 
     def __len__(self):
         return len(self.data)
+
+    def tobytes(self):
+        data = self.data
+        return data.tobytes() if type(data) is memoryview else data
+
+    def recycle(self):
+        """Return a pooled buffer to its arena (explicit, like kfree_skb)."""
+        pool = self._pool
+        if pool is not None:
+            self._pool = None
+            pool.free(self._slot)
+            self._slot = -1
+
+
+class SkbPool:
+    """Zero-copy rx buffers: fixed slots in one pooled DMA arena.
+
+    ``alloc`` hands out a writable memoryview slice of the arena instead
+    of a fresh ``bytes`` per packet; ``recycle`` (via the skb) returns the
+    slot.  The free list is FIFO, so a recycled slot is only rewritten
+    after every other free slot has been used once -- consumers that keep
+    an skb's view past ``recycle`` (sinks that inspect payloads after the
+    run) get ``count`` packets of slack before the data is overwritten.
+    On exhaustion or oversize requests, ``alloc`` falls back to a private
+    bytearray-backed skb (counted as a miss).
+    """
+
+    def __init__(self, kernel, buf_size=2048, count=256, owner="skb-pool"):
+        self._kernel = kernel
+        self.buf_size = buf_size
+        self.count = count
+        self.region = kernel.memory.dma_alloc_coherent(
+            buf_size * count, owner=owner)
+        self._arena = memoryview(self.region.data)
+        self._free = deque(range(count))
+        # Per-slot SkBuff headers, reused across alloc/recycle cycles
+        # the way real drivers reuse rx buffers: a steady-state receive
+        # loop allocates nothing per packet.  The header is only rebuilt
+        # when the requested length differs from the slot's last use.
+        self._skbs = [None] * count
+        self.hits = 0
+        self.misses = 0
+        self.recycles = 0
+
+    def alloc(self, length, protocol=0x0800):
+        if self._free and length <= self.buf_size:
+            slot = self._free.popleft()
+            self.hits += 1
+            skb = self._skbs[slot]
+            if skb is None or len(skb.data) != length:
+                base = slot * self.buf_size
+                skb = SkBuff(self._arena[base:base + length], protocol)
+                self._skbs[slot] = skb
+            else:
+                skb.protocol = protocol
+            skb._pool = self
+            skb._slot = slot
+            return skb
+        self.misses += 1
+        return SkBuff(memoryview(bytearray(length)), protocol)
+
+    def free(self, slot):
+        self.recycles += 1
+        self._free.append(slot)
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class NetDeviceStats:
@@ -123,6 +204,22 @@ class NetworkCore:
         self.rx_sink = None  # callable(dev, skb) installed by workloads
         self.stack_rx_packets = 0
         self.stack_rx_bytes = 0
+        self.napi = NapiCore(kernel, self)
+        self.skb_pool = None  # created lazily at first netif_napi_add
+        self._rx_batch_packets = 0
+        self._rx_batch_bytes = 0
+
+    def get_skb_pool(self):
+        """The shared zero-copy rx pool; allocated on first use.
+
+        Lazy so that non-NAPI configurations (the per-packet-IRQ
+        ablation, non-network tests) never pay for the DMA arena.  Must
+        first be called from process context (the arena allocation may
+        sleep); NAPI registration guarantees that.
+        """
+        if self.skb_pool is None:
+            self.skb_pool = SkbPool(self._kernel)
+        return self.skb_pool
 
     @property
     def devices(self):
@@ -210,3 +307,49 @@ class NetworkCore:
         if self.rx_sink is not None:
             self.rx_sink(dev, skb)
         return 0
+
+    def netif_receive_skb(self, dev, skb):
+        """NAPI delivery: same accounting as netif_rx, batched CPU charge.
+
+        Per-packet protocol cost is accumulated and charged once per poll
+        by :meth:`flush_rx_batch` -- the *virtual* total is identical to
+        per-packet ``netif_rx``, but the simulator pays one consume per
+        poll instead of one per packet.  The pooled buffer is recycled
+        after the sink returns; sinks that need the payload later must
+        copy it (see SkbPool's FIFO slack).
+        """
+        size = len(skb.data)
+        self._rx_batch_packets += 1
+        self._rx_batch_bytes += size
+        skb.dev = dev
+        if self.rx_sink is not None:
+            self.rx_sink(dev, skb)
+        pool = skb._pool
+        if pool is not None:  # inlined skb.recycle()
+            skb._pool = None
+            pool.recycles += 1
+            pool._free.append(skb._slot)
+            skb._slot = -1
+        return 0
+
+    def flush_rx_batch(self):
+        """Charge the accumulated protocol-stack cost for one poll."""
+        packets = self._rx_batch_packets
+        if not packets:
+            return
+        nbytes = self._rx_batch_bytes
+        self._rx_batch_packets = 0
+        self._rx_batch_bytes = 0
+        # Stack counters are batched too -- same totals, one update.
+        self.stack_rx_packets += packets
+        self.stack_rx_bytes += nbytes
+        kernel = self._kernel
+        kernel.consume(
+            int(
+                packets * kernel.costs.rx_packet_cpu_ns
+                + nbytes
+                * (kernel.costs.byte_copy_ns + kernel.costs.rx_user_copy_byte_ns)
+            ),
+            busy=True,
+            category="netstack",
+        )

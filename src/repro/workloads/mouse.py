@@ -40,6 +40,7 @@ def move_and_click(rig, duration_s=30.0):
         t += sample_interval_ns
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    ds = rig.deferred_stats()
     return WorkloadResult(
         name="move-and-click",
         duration_s=elapsed_s,
@@ -48,9 +49,9 @@ def move_and_click(rig, duration_s=30.0):
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
-        deferred_calls=rig.deferred_stats()["calls"],
-        deferred_coalesced=rig.deferred_stats()["coalesced"],
-        deferred_flushes=rig.deferred_stats()["flushes"],
+        deferred_calls=ds["calls"],
+        deferred_coalesced=ds["coalesced"],
+        deferred_flushes=ds["flushes"],
         decaf_invocations=rig.crossings() - x0,
         extra={"input_events": events["count"], "clicks": clicks},
     )

@@ -65,6 +65,7 @@ def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4):
     sound.pcm_close(substream)
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    ds = rig.deferred_stats()
     return WorkloadResult(
         name="mpg123",
         duration_s=elapsed_s,
@@ -74,9 +75,9 @@ def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4):
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
-        deferred_calls=rig.deferred_stats()["calls"],
-        deferred_coalesced=rig.deferred_stats()["coalesced"],
-        deferred_flushes=rig.deferred_stats()["flushes"],
+        deferred_calls=ds["calls"],
+        deferred_coalesced=ds["coalesced"],
+        deferred_flushes=ds["flushes"],
         decaf_invocations=rig.crossings() - x0,
         extra={
             "periods_elapsed": substream.runtime.periods_elapsed,

@@ -26,6 +26,52 @@ def _open_dev(rig):
     return dev
 
 
+def _datapath_start(kernel):
+    """Snapshot NAPI/skb-pool counters so a workload can report deltas."""
+    snap = kernel.net.napi.snapshot()
+    pool = kernel.net.skb_pool
+    snap["_pool_hits"] = pool.hits if pool else 0
+    snap["_pool_misses"] = pool.misses if pool else 0
+    return snap
+
+
+def _datapath_delta(kernel, start):
+    snap = kernel.net.napi.snapshot()
+    base_hist = start.get("packets_per_poll", {})
+    hist = {}
+    for bucket, count in snap["packets_per_poll"].items():
+        delta = count - base_hist.get(bucket, 0)
+        if delta:
+            hist[bucket] = delta
+    pool = kernel.net.skb_pool
+    hits = (pool.hits if pool else 0) - start["_pool_hits"]
+    misses = (pool.misses if pool else 0) - start["_pool_misses"]
+    total = hits + misses
+    return {
+        "polls": snap["polls"] - start["polls"],
+        "budget_exhaustions":
+            snap["budget_exhaustions"] - start["budget_exhaustions"],
+        "pkts_per_poll": hist,
+        "pool_hit_rate": (hits / total) if total else 0.0,
+    }
+
+
+def _wait_for_progress(kernel, end_ns):
+    """Advance to the next event, or fail loudly if there is none.
+
+    A stopped queue with an empty event queue means the device lost its
+    TX completion: nothing will ever restart the queue, and silently
+    spinning the clock to ``end_ns`` would report it as a (bogus) idle
+    run.  Raise instead so the regression is visible.
+    """
+    t = kernel.events.peek_time()
+    if t is None:
+        raise RuntimeError(
+            "netperf: device wedged -- queue stopped with no pending "
+            "events to restart it")
+    kernel.run_until(min(end_ns, t))
+
+
 def netperf_send(rig, duration_s=2.0, msg_bytes=1500):
     """Saturating send; returns throughput and CPU utilization."""
     kernel = rig.kernel
@@ -33,6 +79,7 @@ def netperf_send(rig, duration_s=2.0, msg_bytes=1500):
     payload = bytes(msg_bytes)
 
     x0 = rig.crossings()
+    dp0 = _datapath_start(kernel)
     kernel.cpu.start_window()
     start_ns = kernel.clock.now_ns
     end_ns = start_ns + int(duration_s * 1e9)
@@ -41,18 +88,18 @@ def netperf_send(rig, duration_s=2.0, msg_bytes=1500):
 
     while kernel.clock.now_ns < end_ns:
         if dev.netif_queue_stopped():
-            t = kernel.events.peek_time()
-            kernel.run_until(min(end_ns, t if t is not None else end_ns))
+            _wait_for_progress(kernel, end_ns)
             continue
         rc = kernel.net.dev_queue_xmit(dev, SkBuff(payload))
         if rc == NETDEV_TX_OK:
             sent_packets += 1
             sent_bytes += msg_bytes
         else:
-            t = kernel.events.peek_time()
-            kernel.run_until(min(end_ns, t if t is not None else end_ns))
+            _wait_for_progress(kernel, end_ns)
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    ds = rig.deferred_stats()
+    dp = _datapath_delta(kernel, dp0)
     result = WorkloadResult(
         name="netperf-send",
         duration_s=elapsed_s,
@@ -63,17 +110,27 @@ def netperf_send(rig, duration_s=2.0, msg_bytes=1500):
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
-        deferred_calls=rig.deferred_stats()["calls"],
-        deferred_coalesced=rig.deferred_stats()["coalesced"],
-        deferred_flushes=rig.deferred_stats()["flushes"],
+        deferred_calls=ds["calls"],
+        deferred_coalesced=ds["coalesced"],
+        deferred_flushes=ds["flushes"],
         decaf_invocations=rig.crossings() - x0,
+        napi_polls=dp["polls"],
+        napi_budget_exhaustions=dp["budget_exhaustions"],
+        napi_pkts_per_poll=dp["pkts_per_poll"],
+        skb_pool_hit_rate=dp["pool_hit_rate"],
     )
     kernel.net.dev_close(dev)
     return result
 
 
-def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95):
-    """Receive from a remote generator at ~line rate."""
+def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95,
+                 sink_extra=None):
+    """Receive from a remote generator at ~line rate.
+
+    ``sink_extra(dev, skb)`` is called for every delivered packet while
+    the skb's (possibly pooled, zero-copy) buffer is still valid --
+    benchmarks use it to digest payloads without keeping references.
+    """
     from ..devices import TrafficGenerator
 
     kernel = rig.kernel
@@ -81,35 +138,51 @@ def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95):
     generator = TrafficGenerator(kernel, rig.link, frame_bytes=msg_bytes,
                                  utilization=utilization)
 
-    received = {"packets": 0, "bytes": 0}
+    received = [0, 0]  # packets, bytes -- list beats dict in the hot sink
 
-    def sink(_dev, skb):
-        received["packets"] += 1
-        received["bytes"] += len(skb)
+    if sink_extra is None:
+        def sink(_dev, skb):
+            received[0] += 1
+            received[1] += len(skb.data)
+    else:
+        def sink(_dev, skb):
+            received[0] += 1
+            received[1] += len(skb.data)
+            sink_extra(_dev, skb)
 
     kernel.net.rx_sink = sink
     x0 = rig.crossings()
+    dp0 = _datapath_start(kernel)
     kernel.cpu.start_window()
     start_ns = kernel.clock.now_ns
-    generator.start()
+    generator.start(stop_at_ns=start_ns + int(duration_s * 1e9))
     kernel.run_for_s(duration_s)
     generator.stop()
+    # Drain in-flight frames (ITR windows, scheduled polls) so the
+    # delivered set is identical whichever interrupt scheme ran.
+    kernel.run_for_ms(2)
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
 
+    ds = rig.deferred_stats()
+    dp = _datapath_delta(kernel, dp0)
     result = WorkloadResult(
         name="netperf-recv",
         duration_s=elapsed_s,
-        bytes_moved=received["bytes"],
-        packets=received["packets"],
-        throughput_mbps=received["bytes"] * 8 / elapsed_s / 1e6,
+        bytes_moved=received[1],
+        packets=received[0],
+        throughput_mbps=received[1] * 8 / elapsed_s / 1e6,
         cpu_utilization=kernel.cpu.utilization(),
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
-        deferred_calls=rig.deferred_stats()["calls"],
-        deferred_coalesced=rig.deferred_stats()["coalesced"],
-        deferred_flushes=rig.deferred_stats()["flushes"],
+        deferred_calls=ds["calls"],
+        deferred_coalesced=ds["coalesced"],
+        deferred_flushes=ds["flushes"],
         decaf_invocations=rig.crossings() - x0,
+        napi_polls=dp["polls"],
+        napi_budget_exhaustions=dp["budget_exhaustions"],
+        napi_pkts_per_poll=dp["pkts_per_poll"],
+        skb_pool_hit_rate=dp["pool_hit_rate"],
     )
     kernel.net.rx_sink = None
     kernel.net.dev_close(dev)
@@ -143,6 +216,7 @@ def netperf_udp_rr(rig, duration_s=1.0, msg_bytes=1):
     payload = bytes(max(60, msg_bytes))
 
     x0 = rig.crossings()
+    dp0 = _datapath_start(kernel)
     kernel.cpu.start_window()
     start_ns = kernel.clock.now_ns
     end_ns = start_ns + int(duration_s * 1e9)
@@ -163,6 +237,8 @@ def netperf_udp_rr(rig, duration_s=1.0, msg_bytes=1):
             break
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    ds = rig.deferred_stats()
+    dp = _datapath_delta(kernel, dp0)
     result = WorkloadResult(
         name="netperf-udp-rr",
         duration_s=elapsed_s,
@@ -173,10 +249,14 @@ def netperf_udp_rr(rig, duration_s=1.0, msg_bytes=1):
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
-        deferred_calls=rig.deferred_stats()["calls"],
-        deferred_coalesced=rig.deferred_stats()["coalesced"],
-        deferred_flushes=rig.deferred_stats()["flushes"],
+        deferred_calls=ds["calls"],
+        deferred_coalesced=ds["coalesced"],
+        deferred_flushes=ds["flushes"],
         decaf_invocations=rig.crossings() - x0,
+        napi_polls=dp["polls"],
+        napi_budget_exhaustions=dp["budget_exhaustions"],
+        napi_pkts_per_poll=dp["pkts_per_poll"],
+        skb_pool_hit_rate=dp["pool_hit_rate"],
         extra={"transactions": responses["count"]},
     )
     kernel.net.rx_sink = None

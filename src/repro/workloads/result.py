@@ -22,6 +22,11 @@ class WorkloadResult:
     deferred_calls: int = 0
     deferred_coalesced: int = 0
     deferred_flushes: int = 0
+    # NAPI datapath counters (zero when the per-packet IRQ path runs).
+    napi_polls: int = 0
+    napi_budget_exhaustions: int = 0
+    napi_pkts_per_poll: dict = field(default_factory=dict)
+    skb_pool_hit_rate: float = 0.0
     extra: dict = field(default_factory=dict)
 
     def row(self):
@@ -35,4 +40,7 @@ class WorkloadResult:
             "deferred_calls": self.deferred_calls,
             "deferred_coalesced": self.deferred_coalesced,
             "deferred_flushes": self.deferred_flushes,
+            "napi_polls": self.napi_polls,
+            "napi_budget_exhaustions": self.napi_budget_exhaustions,
+            "skb_pool_hit_rate": round(self.skb_pool_hit_rate, 4),
         }

@@ -67,7 +67,10 @@ class Rig:
         return self.kernel.net.find("eth0")
 
 
-def make_8139too_rig(decaf=False):
+def make_8139too_rig(decaf=False, irq_mode="napi"):
+    """``irq_mode="napi"`` (default) polls RX under a softirq budget;
+    ``irq_mode="irq"`` keeps the seed per-packet interrupt path."""
+    napi = irq_mode == "napi"
     kernel = make_kernel()
     link = EthernetLink(kernel, bits_per_second=100_000_000, name="100M")
     nic = Rtl8139Device(kernel, link)
@@ -75,27 +78,32 @@ def make_8139too_rig(decaf=False):
     if decaf:
         from ..drivers.decaf import rtl8139_nucleus
 
-        module = rtl8139_nucleus.make_module()
+        module = rtl8139_nucleus.make_module(napi=napi)
     else:
         from ..drivers.legacy import rtl8139
 
-        module = rtl8139.make_module()
+        module = rtl8139.make_module(napi=napi)
     return Rig("8139too", kernel, nic, module, decaf, link=link)
 
 
-def make_e1000_rig(decaf=False, options=None):
+def make_e1000_rig(decaf=False, options=None, irq_mode="napi"):
+    """``irq_mode="napi"`` (default) polls RX under a softirq budget;
+    ``irq_mode="irq"`` keeps the seed per-packet interrupt path and
+    disables the device's ITR window so every cause fires an IRQ."""
+    napi = irq_mode == "napi"
     kernel = make_kernel()
     link = EthernetLink(kernel, bits_per_second=1_000_000_000, name="1G")
-    nic = E1000Device(kernel, link)
+    nic = E1000Device(kernel, link,
+                      itr_window_ns=None if napi else 0)
     kernel.pci.add_function(nic.pci)
     if decaf:
         from ..drivers.decaf import e1000_nucleus
 
-        module = e1000_nucleus.make_module(options=options)
+        module = e1000_nucleus.make_module(options=options, napi=napi)
     else:
         from ..drivers.legacy import e1000_main
 
-        module = e1000_main.make_module()
+        module = e1000_main.make_module(napi=napi)
     return Rig("e1000", kernel, nic, module, decaf, link=link)
 
 

@@ -53,6 +53,7 @@ def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024):
         nfiles += 1
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    ds = rig.deferred_stats()
     return WorkloadResult(
         name="tar",
         duration_s=elapsed_s,
@@ -63,9 +64,9 @@ def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024):
         init_latency_s=(rig.init_latency_ns or 0) / 1e9,
         kernel_user_crossings=rig.crossings(),
         lang_crossings=rig.lang_crossings(),
-        deferred_calls=rig.deferred_stats()["calls"],
-        deferred_coalesced=rig.deferred_stats()["coalesced"],
-        deferred_flushes=rig.deferred_stats()["flushes"],
+        deferred_calls=ds["calls"],
+        deferred_coalesced=ds["coalesced"],
+        deferred_flushes=ds["flushes"],
         decaf_invocations=rig.crossings() - x0,
         extra={"files": nfiles,
                "disk_blocks_written": rig.extra["disk"].writes},

@@ -1,0 +1,226 @@
+"""NAPI core: softirq budget loop, masking protocol, zero-copy skb pool."""
+
+import pytest
+
+from repro.kernel import SimulationError, make_kernel
+from repro.kernel.netdev import NetDevice, SkbPool
+
+
+class _FakeNic:
+    """A device-side stand-in: a ring the poll callback drains."""
+
+    def __init__(self, kernel, core, irq=9):
+        self.kernel = kernel
+        self.core = core
+        self.irq = irq
+        self.ring = []
+        self.drained = []
+        self.complete_on_empty = True
+        dev = NetDevice(kernel, "fake0")
+        dev.irq = irq
+        self.dev = dev
+        self.napi = core.register(dev, self.poll, weight=16, irq=irq)
+        core.enable(self.napi)
+
+    def rx(self, n):
+        self.ring.extend(range(len(self.ring), len(self.ring) + n))
+        # Device interrupt: mask sources and schedule (handler side).
+        self.core.schedule(self.napi)
+
+    def poll(self, napi, budget):
+        work = 0
+        while self.ring and work < budget:
+            self.drained.append(self.ring.pop(0))
+            work += 1
+        if not self.ring and self.complete_on_empty:
+            self.core.complete(napi)
+        return work
+
+
+@pytest.fixture
+def core(kernel):
+    return kernel.net.napi
+
+
+class TestNapiProtocol:
+    def test_poll_runs_in_softirq_context(self, kernel, core):
+        contexts = []
+        dev = NetDevice(kernel, "n0")
+
+        def poll(napi, budget):
+            contexts.append(kernel.context.in_softirq())
+            core.complete(napi)
+            return 0
+
+        napi = core.register(dev, poll)
+        core.enable(napi)
+        core.schedule(napi)
+        kernel.run_for_ms(1)
+        assert contexts == [True]
+
+    def test_schedule_masks_irq_line_until_complete(self, kernel, core):
+        nic = _FakeNic(kernel, core)
+        nic.rx(3)
+        assert kernel.irq.irq_disabled(nic.irq)
+        kernel.run_for_ms(1)
+        assert nic.drained == [0, 1, 2]
+        assert not kernel.irq.irq_disabled(nic.irq)
+
+    def test_poll_with_unmasked_line_is_an_error(self, kernel, core):
+        nic = _FakeNic(kernel, core)
+        nic.rx(1)
+        # A buggy driver re-enabling the line before poll runs.
+        kernel.irq.enable_irq(nic.irq)
+        with pytest.raises(SimulationError):
+            kernel.run_for_ms(1)
+
+    def test_schedule_is_idempotent_while_scheduled(self, kernel, core):
+        nic = _FakeNic(kernel, core)
+        assert core.schedule(nic.napi) is True
+        assert core.schedule(nic.napi) is False
+        assert core.schedules == 1
+        # The line was masked exactly once; one complete unmasks it.
+        kernel.run_for_ms(1)
+        assert not kernel.irq.irq_disabled(nic.irq)
+
+    def test_disabled_context_cannot_be_scheduled(self, kernel, core):
+        nic = _FakeNic(kernel, core)
+        core.disable(nic.napi)
+        assert core.schedule(nic.napi) is False
+        kernel.run_for_ms(1)
+        assert nic.drained == []
+
+    def test_disable_mid_schedule_suppresses_poll(self, kernel, core):
+        nic = _FakeNic(kernel, core)
+        nic.rx(5)
+        core.disable(nic.napi)
+        kernel.run_for_ms(1)
+        assert nic.drained == []
+        assert not kernel.irq.irq_disabled(nic.irq)
+
+
+class TestBudgetLoop:
+    def test_one_schedule_drains_burst_up_to_weight(self, kernel, core):
+        nic = _FakeNic(kernel, core)
+        nic.rx(10)  # below weight 16: one poll drains everything
+        kernel.run_for_ms(1)
+        assert nic.drained == list(range(10))
+        assert core.polls == 1
+        assert core.packets_per_poll == {10: 1}
+
+    def test_weight_limits_single_poll_rerun_until_empty(self, kernel, core):
+        nic = _FakeNic(kernel, core)
+        nic.rx(40)  # weight 16 -> 3 polls (16+16+8) within one softirq
+        kernel.run_for_ms(1)
+        assert nic.drained == list(range(40))
+        assert core.polls == 3
+        assert core.softirq_runs == 1
+        assert core.budget_exhaustions == 0
+
+    def test_budget_exhaustion_reraises_softirq(self, kernel, core):
+        nic = _FakeNic(kernel, core)
+        nic.rx(core.budget + 50)
+        kernel.run_for_ms(1)
+        assert nic.drained == list(range(core.budget + 50))
+        assert core.budget_exhaustions >= 1
+        assert core.softirq_runs >= 2  # punted to a fresh softirq
+        assert not kernel.irq.irq_disabled(nic.irq)
+
+    def test_softirq_charges_cpu(self, kernel, core):
+        nic = _FakeNic(kernel, core)
+        kernel.cpu.start_window()
+        nic.rx(1)
+        kernel.run_for_ms(1)
+        assert kernel.cpu.category_ns("softirq") == \
+            kernel.costs.softirq_ns * core.softirq_runs
+
+
+class TestBatchedDelivery:
+    def test_batched_charge_equals_per_packet_total(self):
+        """flush_rx_batch charges exactly what N netif_rx calls would."""
+        k_batch, k_per = make_kernel(), make_kernel()
+        sizes = [60, 1500, 300, 9, 1024]
+        dev_b = NetDevice(k_batch, "b0")
+        dev_p = NetDevice(k_per, "p0")
+        from repro.kernel.netdev import SkBuff
+
+        for n in sizes:
+            k_batch.net.netif_receive_skb(dev_b, SkBuff(bytes(n)))
+        k_batch.net.flush_rx_batch()
+        for n in sizes:
+            k_per.net.netif_rx(dev_p, SkBuff(bytes(n)))
+        assert k_batch.cpu.category_ns("netstack") == pytest.approx(
+            k_per.cpu.category_ns("netstack"), abs=len(sizes))
+        assert k_batch.net.stack_rx_packets == k_per.net.stack_rx_packets
+        assert k_batch.net.stack_rx_bytes == k_per.net.stack_rx_bytes
+
+    def test_flush_without_batch_is_free(self, kernel):
+        kernel.cpu.start_window()
+        kernel.net.flush_rx_batch()
+        assert kernel.cpu.window_busy_ns() == 0
+
+
+class TestSkbPool:
+    def test_alloc_is_zero_copy_view_of_arena(self, kernel):
+        pool = SkbPool(kernel, buf_size=256, count=4)
+        skb = pool.alloc(100)
+        assert type(skb.data) is memoryview
+        skb.data[0:4] = b"\xAA\xBB\xCC\xDD"
+        # The write landed in the pooled DMA arena, not a private copy.
+        assert bytes(pool.region.data[0:4]) == b"\xAA\xBB\xCC\xDD"
+        assert pool.hits == 1
+
+    def test_recycle_returns_slot_fifo(self, kernel):
+        pool = SkbPool(kernel, buf_size=64, count=2)
+        a = pool.alloc(10)
+        b = pool.alloc(10)
+        slot_a = a._slot
+        a.recycle()
+        b.recycle()
+        # FIFO: the next two allocs reuse slots in recycle order.
+        c = pool.alloc(10)
+        assert c._slot == slot_a
+        assert pool.recycles == 2
+
+    def test_recycle_is_idempotent(self, kernel):
+        pool = SkbPool(kernel, buf_size=64, count=2)
+        skb = pool.alloc(10)
+        skb.recycle()
+        skb.recycle()  # second call is a no-op, slot not double-freed
+        assert len(pool._free) == 2
+        assert pool.recycles == 1
+
+    def test_exhaustion_falls_back_to_private_buffer(self, kernel):
+        pool = SkbPool(kernel, buf_size=64, count=2)
+        skbs = [pool.alloc(10) for _ in range(3)]
+        assert pool.hits == 2
+        assert pool.misses == 1
+        assert skbs[2]._pool is None  # fallback: recycle is a no-op
+        skbs[2].recycle()
+        assert len(pool._free) == 0
+
+    def test_oversize_request_is_a_miss(self, kernel):
+        pool = SkbPool(kernel, buf_size=64, count=2)
+        skb = pool.alloc(1500)
+        assert pool.misses == 1
+        assert len(skb) == 1500
+        assert pool.hit_rate == 0.0
+
+    def test_hit_rate(self, kernel):
+        pool = SkbPool(kernel, buf_size=2048, count=8)
+        for _ in range(6):
+            pool.alloc(100).recycle()
+        pool.alloc(4096)  # miss
+        assert pool.hit_rate == pytest.approx(6 / 7)
+
+    def test_non_pooled_skb_recycle_noop(self, kernel):
+        from repro.kernel.netdev import SkBuff
+
+        skb = SkBuff(b"abc")
+        skb.recycle()  # must not raise
+        assert skb.tobytes() == b"abc"
+
+    def test_core_pool_is_lazy_and_shared(self, kernel):
+        assert kernel.net.skb_pool is None
+        pool = kernel.net.get_skb_pool()
+        assert kernel.net.get_skb_pool() is pool
