@@ -24,6 +24,7 @@ class ComboLock:
         self._domains = domains
         self.name = name
         self._held_by = None  # None | "kernel-spin" | "user-sem" | "kernel-sem"
+        self._acquired_ns = None
         self.spin_acquisitions = 0
         self.sem_acquisitions = 0
         self.kernel_waits_on_user = 0
@@ -60,6 +61,8 @@ class ComboLock:
         self._held_by = "kernel-spin"
         self.spin_acquisitions += 1
         self._kernel.context.preempt_disable()
+        if self._kernel.tracer is not None:
+            self._acquired_ns = self._kernel.clock.now_ns
 
     def _acquire_user(self):
         # User-mode acquisition: semaphore semantics; may sleep.
@@ -69,13 +72,21 @@ class ComboLock:
         self._held_by = "user-sem"
         self.sem_acquisitions += 1
         self._kernel.cpu.charge(self._kernel.costs.context_switch_ns, "locking")
+        if self._kernel.tracer is not None:
+            self._acquired_ns = self._kernel.clock.now_ns
 
     def release(self):
         if self._held_by is None:
             raise DeadlockError("combolock %s: release while not held" % self.name)
-        if self._held_by == "kernel-spin":
+        mode = self._held_by
+        if mode == "kernel-spin":
             self._kernel.context.preempt_enable()
         self._held_by = None
+        tracer = self._kernel.tracer
+        if tracer is not None and self._acquired_ns is not None:
+            kind = "combo-spin" if mode == "kernel-spin" else "combo-sem"
+            tracer.lock_span(self._acquired_ns, self.name, kind)
+            self._acquired_ns = None
 
     def __enter__(self):
         self.acquire()

@@ -42,6 +42,15 @@ class XpcError(Exception):
     pass
 
 
+def _callsite(func):
+    """Human-readable name of the function crossing the boundary."""
+    return (
+        getattr(func, "__qualname__", None)
+        or getattr(func, "__name__", None)
+        or repr(func)
+    )
+
+
 class _KernelSideContext(TransferContext):
     """Decode/encode context for the kernel end of a channel."""
 
@@ -128,16 +137,18 @@ class Xpc:
         self.deferred_dropped = 0     # pending notifications dropped at close
 
     def reset_counters(self):
-        self.kernel_user_crossings = 0
-        self.lang_crossings = 0
-        self.bytes_marshaled = 0
-        self.upcalls = 0
-        self.downcalls = 0
-        self.deferred_calls = 0
-        self.deferred_coalesced = 0
-        self.deferred_flushes = 0
-        self.deferred_errors = 0
-        self.deferred_dropped = 0
+        """Zero every numeric counter this object carries.
+
+        Introspective on purpose: a counter added to ``__init__`` can
+        never be forgotten here (``tests/core/test_xpc_reset.py`` pins
+        the contract down).
+        """
+        for attr, value in vars(self).items():
+            if attr.startswith("_") or attr == "kernel":
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            setattr(self, attr, 0)
 
 
 class XpcChannel:
@@ -176,6 +187,10 @@ class XpcChannel:
         self._deferred = []
         self._flushing = False
         self.closed = False
+        # Stats of the most recent _transfer_args call:
+        # (bytes, fields, tracker_lookups, tracker_hits, delta_saved).
+        # Call sites that trace read it immediately after each transfer.
+        self.last_transfer = (0, 0, 0, 0, 0)
 
     # -- opaque handles ---------------------------------------------------------
 
@@ -286,12 +301,23 @@ class XpcChannel:
             src_ctx, dst_ctx = self.kernel_ctx, self.user_ctx
         else:
             src_ctx, dst_ctx = self.user_ctx, self.kernel_ctx
-        data, nfields = self.codec.encode_args(
+        kt, ut, codec = self.kernel_tracker, self.user_tracker, self.codec
+        lookups0 = kt.lookups + ut.lookups
+        hits0 = kt.hits + ut.hits
+        skipped0 = codec.delta_fields_skipped
+        data, nfields = codec.encode_args(
             args, direction, ctx=src_ctx, delta=delta
         )
-        twins = self.codec.decode_args(
+        twins = codec.decode_args(
             data, [cls for _obj, cls in args], direction, ctx=dst_ctx,
             delta=delta,
+        )
+        self.last_transfer = (
+            len(data),
+            nfields,
+            kt.lookups + ut.lookups - lookups0,
+            kt.hits + ut.hits - hits0,
+            codec.delta_fields_skipped - skipped0,
         )
         self._charge_marshal(len(data), nfields)
         for obj in self.codec.last_decoded_objects:
@@ -313,6 +339,12 @@ class XpcChannel:
         sync point.
         """
         self.xpc.deferred_calls += 1
+        tracer = self.xpc.kernel.tracer
+        if tracer is not None:
+            tracer.instant(
+                "xpc.defer",
+                {"driver": self.name, "callsite": _callsite(func)},
+            )
         # Equality, not identity: a bound method (nucleus.decaf.tick)
         # is a fresh object on every attribute access, but compares
         # equal to itself; distinct lambdas stay distinct.
@@ -341,6 +373,10 @@ class XpcChannel:
         # Reentrancy guard: a notification handler may downcall, and
         # downcall entry is itself a sync point.
         self._flushing = True
+        tracer = kernel.tracer
+        start_ns = kernel.clock.now_ns if tracer is not None else 0
+        transfers = [] if tracer is not None else None
+        callsites = [] if tracer is not None else None
         try:
             batch = self._deferred
             self._deferred = []
@@ -350,6 +386,11 @@ class XpcChannel:
             for func, args, extra in batch:
                 try:
                     twins = self._transfer_args(list(args), TO_USER)
+                    if transfers is not None:
+                        # Read immediately: a handler that downcalls
+                        # would overwrite last_transfer.
+                        transfers.append(self.last_transfer)
+                        callsites.append(_callsite(func))
                     self.domains.push(DRIVER_LIB)
                     try:
                         func(*(list(twins) + list(extra or ())))
@@ -357,6 +398,12 @@ class XpcChannel:
                         self.domains.pop(DRIVER_LIB)
                 except Exception:
                     self.xpc.deferred_errors += 1
+            if tracer is not None:
+                tracer.xpc_span(
+                    "xpc.flush", start_ns, self.name, "defer-batch",
+                    transfers,
+                    extra_args={"items": len(batch), "callsites": callsites},
+                )
             return len(batch)
         finally:
             self._flushing = False
@@ -375,8 +422,11 @@ class XpcChannel:
         kernel.context.might_sleep("XPC upcall to user level")
         self.xpc.upcalls += 1
         self.xpc.kernel_user_crossings += 1
+        tracer = kernel.tracer
+        start_ns = kernel.clock.now_ns if tracer is not None else 0
         self._charge_kernel_crossing()
         twins = self._transfer_args(list(args), TO_USER)
+        fwd = self.last_transfer
         self.domains.push(DRIVER_LIB)
         try:
             call_args = list(twins) + list(extra or ())
@@ -387,6 +437,11 @@ class XpcChannel:
         self._transfer_args(list(args_back(args, twins)), TO_KERNEL,
                             delta=True)
         self._charge_kernel_crossing()
+        if tracer is not None:
+            # Before flush_deferred: the flush is its own crossing and
+            # gets its own span, not a nested slice of this one.
+            tracer.xpc_span("xpc.upcall", start_ns, self.name,
+                            _callsite(func), (fwd, self.last_transfer))
         # Sync point: drain queued notifications now that a crossing
         # has completed anyway (never *before* the call -- that would
         # delay it behind the batch).
@@ -398,8 +453,11 @@ class XpcChannel:
         kernel = self.xpc.kernel
         self.xpc.downcalls += 1
         self.xpc.kernel_user_crossings += 1
+        tracer = kernel.tracer
+        start_ns = kernel.clock.now_ns if tracer is not None else 0
         self._charge_kernel_crossing()
         twins = self._transfer_args(list(args), TO_KERNEL)
+        fwd = self.last_transfer
         self.domains.push(KERNEL)
         try:
             call_args = list(twins) + list(extra or ())
@@ -408,6 +466,9 @@ class XpcChannel:
             self.domains.pop(KERNEL)
         self._transfer_args(list(args_back(args, twins)), TO_USER, delta=True)
         self._charge_kernel_crossing()
+        if tracer is not None:
+            tracer.xpc_span("xpc.downcall", start_ns, self.name,
+                            _callsite(func), (fwd, self.last_transfer))
         self.flush_deferred()  # sync point (see upcall)
         return ret
 
@@ -419,9 +480,12 @@ class XpcChannel:
         entirely via :meth:`direct_call`.
         """
         self.xpc.lang_crossings += 1
+        tracer = self.xpc.kernel.tracer
+        start_ns = self.xpc.kernel.clock.now_ns if tracer is not None else 0
         self._charge_lang_crossing()
         direction = TO_USER if to_java else TO_KERNEL
         twins = self._transfer_args(list(args), direction)
+        fwd = self.last_transfer
         domain = DECAF if to_java else DRIVER_LIB
         self.domains.push(domain)
         try:
@@ -431,6 +495,11 @@ class XpcChannel:
             self.domains.pop(domain)
         back = TO_KERNEL if to_java else TO_USER
         self._transfer_args(list(args_back(args, twins)), back, delta=True)
+        if tracer is not None:
+            tracer.xpc_span("xpc.lang", start_ns, self.name,
+                            _callsite(func), (fwd, self.last_transfer),
+                            cat="xpc.lang",
+                            extra_args={"to_java": to_java})
         return ret
 
     def direct_call(self, func, *scalars):
@@ -440,8 +509,16 @@ class XpcChannel:
         cost.  The ablation bench compares this against lang_call.
         """
         self.xpc.lang_crossings += 1
+        tracer = self.xpc.kernel.tracer
+        if tracer is None:
+            self._charge_lang_crossing()
+            return func(*scalars)
+        start_ns = self.xpc.kernel.clock.now_ns
         self._charge_lang_crossing()
-        return func(*scalars)
+        ret = func(*scalars)
+        tracer.xpc_span("xpc.direct", start_ns, self.name, _callsite(func),
+                        (), cat="xpc.lang")
+        return ret
 
 
 def args_back(args, twins):

@@ -16,6 +16,8 @@ Typical use::
     kernel.run_for_ms(100)
 """
 
+from collections import deque
+
 from .context import ExecContext, HARDIRQ, PROCESS, SOFTIRQ
 from .costs import CostModel
 from .errors import SimulationError
@@ -28,8 +30,15 @@ from .timers import Workqueue
 from .vtime import NSEC_PER_MSEC, NSEC_PER_SEC, NSEC_PER_USEC, CpuAccounting, VirtualClock
 
 
+#: printk severity order (higher = more severe); unknown levels rank as
+#: "info" so a typo'd level is visible rather than filtered away.
+LOG_LEVELS = {"debug": 0, "info": 1, "warn": 2, "err": 3}
+
+DEFAULT_LOG_CAPACITY = 1024
+
+
 class Kernel:
-    def __init__(self, costs=None):
+    def __init__(self, costs=None, log_capacity=DEFAULT_LOG_CAPACITY):
         self.costs = costs or CostModel()
         self.clock = VirtualClock()
         self.cpu = CpuAccounting(self.clock)
@@ -40,7 +49,15 @@ class Kernel:
         self.io = IoSpace(self)
         self.modules = ModuleLoader(self)
         self.workqueue = Workqueue(self, name="events")
-        self.log_lines = []
+        # printk ring buffer: (virtual ns, level, message) triples.  A
+        # long-running rig cannot grow memory through logging; overflow
+        # evicts the oldest line and counts it.
+        self._log = deque(maxlen=log_capacity)
+        self.log_dropped = 0
+        # ktrace hook: a repro.trace.Tracer when installed, else None.
+        # Every tracepoint in the kernel guards on this one attribute,
+        # so the disabled path costs one load + one identity test.
+        self.tracer = None
 
         # Bus / class subsystems are attached lazily to keep the core free
         # of upward dependencies; see repro.kernel.__init__.
@@ -54,8 +71,36 @@ class Kernel:
 
     # -- logging (printk) ----------------------------------------------------
 
-    def printk(self, message):
-        self.log_lines.append((self.clock.now_ns, message))
+    def printk(self, message, level="info"):
+        log = self._log
+        if log.maxlen is not None and len(log) == log.maxlen:
+            self.log_dropped += 1
+        log.append((self.clock.now_ns, level, message))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("printk", {"level": level, "msg": message})
+
+    def dmesg(self, level=None):
+        """Ring-buffer contents as (ns, level, message), oldest first.
+
+        ``level`` filters to entries at that severity or higher
+        (``"debug" < "info" < "warn" < "err"``).
+        """
+        if level is None:
+            return list(self._log)
+        if level not in LOG_LEVELS:
+            raise ValueError("unknown log level %r (one of %s)"
+                             % (level, ", ".join(sorted(LOG_LEVELS))))
+        floor = LOG_LEVELS[level]
+        return [
+            entry for entry in self._log
+            if LOG_LEVELS.get(entry[1], LOG_LEVELS["info"]) >= floor
+        ]
+
+    @property
+    def log_lines(self):
+        """Compat view of the ring buffer: (ns, message) pairs."""
+        return [(t, message) for t, _level, message in self._log]
 
     # -- time ------------------------------------------------------------------
 

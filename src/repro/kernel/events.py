@@ -141,6 +141,9 @@ class EventQueue:
         self._heap = []
         self._wheel = TimerWheel()
         self._seq = itertools.count()
+        # ktrace hook, mirrored from Kernel.tracer by Tracer.install();
+        # the queue has no kernel back-reference, so it keeps its own.
+        self.tracer = None
 
     def __len__(self):
         return sum(1 for ev in self._heap if not ev.cancelled) + \
@@ -174,6 +177,9 @@ class EventQueue:
         """Like schedule_at, but on the wheel: cancel is O(1) and real."""
         ev = self._make_event(time_ns, callback, context, name)
         self._wheel.add(ev)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("timer.arm", {"timer": name, "at_ns": ev.time_ns})
         return ev
 
     def schedule_timer_after(self, delay_ns, callback, context=PROCESS,

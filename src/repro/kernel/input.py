@@ -69,11 +69,17 @@ class SerioPort:
             return
         kernel = self._kernel
         kernel.cpu.charge(kernel.costs.irq_entry_ns, "irq")
+        tracer = kernel.tracer
+        entry_ns = kernel.clock.now_ns if tracer is not None else 0
         kernel.context.enter_irq()
         try:
             self.driver_interrupt(self, byte & 0xFF, 0)
         finally:
             kernel.context.exit_irq()
+            if tracer is not None:
+                # Serio delivers outside the IrqController (no line
+                # number); trace it as an irq span keyed by port name.
+                tracer.irq_span(entry_ns, None, self.name, True)
 
 
 class InputDev:

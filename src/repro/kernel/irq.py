@@ -112,18 +112,29 @@ class IrqController:
     def _dispatch(self, line):
         kernel = self._kernel
         kernel.cpu.charge(kernel.costs.irq_entry_ns, "irq")
+        tracer = kernel.tracer
         if line.handler is None:
             self.spurious += 1
+            if tracer is not None:
+                tracer.instant("irq.spurious", {"irq": line.number})
             return
+        entry_ns = kernel.clock.now_ns if tracer is not None else 0
         # The CPU masks local interrupts while a handler runs: a device
         # asserting mid-handler is latched and delivered on return, so
         # handlers never nest (no reentrant ring cleaning).
         self.local_irq_disable()
         kernel.context.enter_irq()
+        ret = IRQ_NONE
         try:
             ret = line.handler(line.number, line.dev_id)
         finally:
             kernel.context.exit_irq()
+            # Emit before local_irq_enable: a latched IRQ delivered on
+            # unmask would otherwise appear *before* this span in the
+            # stream while overlapping it in time.
+            if tracer is not None:
+                tracer.irq_span(entry_ns, line.number, line.name,
+                                ret != IRQ_NONE)
             self.local_irq_enable()
         self.delivered += 1
         if ret == IRQ_NONE:

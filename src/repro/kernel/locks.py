@@ -25,6 +25,7 @@ class SpinLock:
         self.name = name
         self.owner_context = None
         self._held = False
+        self._acquired_ns = None
         self.acquisitions = 0
 
     @property
@@ -41,6 +42,8 @@ class SpinLock:
         self.acquisitions += 1
         self.owner_context = self._kernel.context.current_context()
         self._kernel.context.push_spinlock(self)
+        if self._kernel.tracer is not None:
+            self._acquired_ns = self._kernel.clock.now_ns
 
     def unlock(self):
         if not self._held:
@@ -48,6 +51,12 @@ class SpinLock:
         self._held = False
         self.owner_context = None
         self._kernel.context.pop_spinlock(self)
+        tracer = self._kernel.tracer
+        if tracer is not None and self._acquired_ns is not None:
+            # Matched pairs only: a tracer installed mid-hold records
+            # nothing for this acquisition.
+            tracer.lock_span(self._acquired_ns, self.name, "spin")
+            self._acquired_ns = None
 
     def lock_irqsave(self):
         """Linux ``spin_lock_irqsave``: also masks interrupts on this CPU."""
@@ -74,6 +83,7 @@ class Mutex:
         self._kernel = kernel
         self.name = name
         self._held = False
+        self._acquired_ns = None
         self.acquisitions = 0
 
     @property
@@ -90,11 +100,17 @@ class Mutex:
         self._kernel.cpu.charge(self._kernel.costs.kmalloc_ns, "locking")
         self._held = True
         self.acquisitions += 1
+        if self._kernel.tracer is not None:
+            self._acquired_ns = self._kernel.clock.now_ns
 
     def unlock(self):
         if not self._held:
             raise DeadlockError("mutex %r released while not held" % self.name)
         self._held = False
+        tracer = self._kernel.tracer
+        if tracer is not None and self._acquired_ns is not None:
+            tracer.lock_span(self._acquired_ns, self.name, "mutex")
+            self._acquired_ns = None
 
     def __enter__(self):
         self.lock()

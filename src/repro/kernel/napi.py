@@ -41,6 +41,9 @@ class NapiStruct:
         self.scheduled = False
         self.disabled = True  # drivers must napi_enable() before use
         self._line_masked = False
+        # Virtual timestamp of the schedule() that queued this context;
+        # consumed by the tracer's IRQ->poll latency histogram.
+        self._trace_sched_ns = None
         # Counters (per context).
         self.polls = 0
         self.work_total = 0
@@ -107,6 +110,11 @@ class NapiCore:
             return False
         napi.scheduled = True
         self.schedules += 1
+        tracer = self._kernel.tracer
+        if tracer is not None:
+            napi._trace_sched_ns = self._kernel.clock.now_ns
+            tracer.instant("napi.schedule",
+                           {"napi": napi.name, "irq": napi.irq})
         if napi.irq is not None:
             self._kernel.irq.disable_irq(napi.irq)
             napi._line_masked = True
@@ -145,6 +153,9 @@ class NapiCore:
             raise SimulationError("net_rx_action outside softirq context")
         self.softirq_runs += 1
         kernel.cpu.charge(kernel.costs.softirq_ns, "softirq")
+        tracer = kernel.tracer
+        run_start_ns = kernel.clock.now_ns if tracer is not None else 0
+        polls_this_run = 0
         budget = self.budget
         self._running = True
         try:
@@ -163,10 +174,20 @@ class NapiCore:
                         "NAPI poll for %s with IRQ %d unmasked" %
                         (napi.name, napi.irq))
                 weight = min(napi.weight, budget)
+                poll_start_ns = \
+                    kernel.clock.now_ns if tracer is not None else 0
                 work = napi.poll(napi, weight)
                 self._net.flush_rx_batch()
+                if tracer is not None:
+                    latency = None
+                    if napi._trace_sched_ns is not None:
+                        latency = poll_start_ns - napi._trace_sched_ns
+                        napi._trace_sched_ns = None
+                    tracer.napi_poll_span(poll_start_ns, napi.name, work,
+                                          weight, latency)
                 self.polls += 1
                 napi.polls += 1
+                polls_this_run += 1
                 self.work_total += work
                 napi.work_total += work
                 self.packets_per_poll[work] = \
@@ -179,6 +200,14 @@ class NapiCore:
                     self._list.append(napi)
         finally:
             self._running = False
+        if tracer is not None:
+            tracer.span("softirq.net_rx", run_start_ns,
+                        {"polls": polls_this_run,
+                         "work": self.budget - budget,
+                         "budget_start": self.budget,
+                         "budget_left": budget,
+                         "requeued": len(self._list)},
+                        cat="softirq")
         if self._list:
             # Out of budget with work pending: yield and re-raise, like
             # ksoftirqd punting to the next softirq iteration.

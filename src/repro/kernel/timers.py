@@ -45,6 +45,9 @@ class KernelTimer:
         if self._event is not None and not self._event.cancelled:
             self._event.cancel()
             self._event = None
+            tracer = self._kernel.tracer
+            if tracer is not None:
+                tracer.instant("timer.cancel", {"timer": self.name})
             return True
         self._event = None
         return False
@@ -56,7 +59,13 @@ class KernelTimer:
     def _fire(self):
         self._event = None
         self.fired += 1
+        tracer = self._kernel.tracer
+        if tracer is None:
+            self.function(self.data)
+            return
+        start_ns = self._kernel.clock.now_ns
         self.function(self.data)
+        tracer.span("timer.fire", start_ns, {"timer": self.name}, cat="timer")
 
 
 class WorkItem:
@@ -82,7 +91,13 @@ class WorkItem:
             self._queue = None
         self.executed += 1
         self._kernel.cpu.charge(self._kernel.costs.context_switch_ns, "workqueue")
+        tracer = self._kernel.tracer
+        if tracer is None:
+            self.function(self.data)
+            return
+        start_ns = self._kernel.clock.now_ns
         self.function(self.data)
+        tracer.span("work.item", start_ns, {"work": self.name}, cat="work")
 
 
 class Workqueue:

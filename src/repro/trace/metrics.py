@@ -1,0 +1,140 @@
+"""Counters and fixed-bucket histograms for the trace subsystem.
+
+The metrics registry is the cheap, always-aggregated consumer of the
+tracepoint stream: tracepoints update counters and histograms online,
+and a :meth:`MetricsRegistry.snapshot` is embedded into
+``WorkloadResult.trace_summary`` and the exported trace file.
+
+Histograms use fixed power-of-two nanosecond buckets (65 of them:
+bucket 0 holds exact zeros, bucket *b* holds values in
+``[2**(b-1), 2**b - 1]``), so recording is O(1), storage is bounded,
+and two runs' histograms can be diffed bucket by bucket.  Percentiles
+are read back as the upper bound of the bucket where the cumulative
+count crosses the rank -- deterministic, and never more than 2x off,
+which is plenty for hold-time and latency distributions.
+"""
+
+_NUM_BUCKETS = 65  # bucket 0 = {0}; bucket b = [2^(b-1), 2^b - 1]
+
+
+def bucket_upper_bound(index):
+    """Largest value the bucket at ``index`` can hold."""
+    if index == 0:
+        return 0
+    return (1 << index) - 1
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+
+class Histogram:
+    """Fixed log2 buckets; O(1) record, bounded storage."""
+
+    __slots__ = ("name", "buckets", "count", "total", "max")
+
+    def __init__(self, name):
+        self.name = name
+        self.buckets = [0] * _NUM_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.max = 0
+
+    def record(self, value):
+        v = int(value)
+        if v < 0:
+            v = 0
+        self.buckets[v.bit_length()] += 1
+        self.count += 1
+        self.total += v
+        if v > self.max:
+            self.max = v
+
+    def percentile(self, p):
+        """Upper bound of the bucket holding the p-th percentile (0-100)."""
+        if self.count == 0:
+            return 0
+        rank = p / 100.0 * self.count
+        cum = 0
+        for index, n in enumerate(self.buckets):
+            cum += n
+            if cum >= rank and n:
+                return min(bucket_upper_bound(index), self.max)
+        return self.max
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+            "mean": round(self.mean, 1),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            # Sparse: only non-empty buckets, keyed by their upper bound.
+            "buckets": {
+                str(bucket_upper_bound(i)): n
+                for i, n in enumerate(self.buckets) if n
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use.
+
+    Multi-dimensional metrics (per-driver XPC totals, per-kind lock
+    hold times) encode the label into the name after a ``|`` separator,
+    e.g. ``xpc.bytes|e1000`` -- :func:`split_label` recovers the pair.
+    """
+
+    def __init__(self):
+        self._counters = {}
+        self._histograms = {}
+
+    def counter(self, name):
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name):
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def inc(self, name, n=1):
+        self.counter(name).inc(n)
+
+    def record(self, name, value):
+        self.histogram(name).record(value)
+
+    def snapshot(self):
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+def split_label(name):
+    """Split ``"metric|label"`` into ``(metric, label)``; label may be ''."""
+    metric, _, label = name.partition("|")
+    return metric, label

@@ -6,11 +6,13 @@ low to measure (as the paper notes), so the result reports CPU
 utilization and event counts.
 """
 
+from ..trace import begin_trace, finish_trace
 from .result import WorkloadResult
 
 
-def move_and_click(rig, duration_s=30.0):
+def move_and_click(rig, duration_s=30.0, trace=None):
     kernel = rig.kernel
+    session = begin_trace(kernel, trace)
     mouse = rig.device
     input_devs = kernel.input.devices
     if not input_devs:
@@ -41,7 +43,7 @@ def move_and_click(rig, duration_s=30.0):
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
     ds = rig.deferred_stats()
-    return WorkloadResult(
+    result = WorkloadResult(
         name="move-and-click",
         duration_s=elapsed_s,
         packets=packets,
@@ -55,3 +57,5 @@ def move_and_click(rig, duration_s=30.0):
         decaf_invocations=rig.crossings() - x0,
         extra={"input_events": events["count"], "clicks": clicks},
     )
+    finish_trace(session, result)
+    return result

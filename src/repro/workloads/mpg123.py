@@ -7,6 +7,7 @@ the workload is real-time-bound, exactly like the paper's.
 """
 
 from ..kernel.sound import SNDRV_PCM_TRIGGER_START, SNDRV_PCM_TRIGGER_STOP
+from ..trace import begin_trace, finish_trace
 from .result import WorkloadResult
 
 MP3_BITRATE = 256_000
@@ -18,9 +19,11 @@ PCM_SAMPLE_BYTES = 2
 DECODE_NS_PER_AUDIO_SECOND = 2_000_000
 
 
-def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4):
+def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4,
+                trace=None):
     """Play ``duration_s`` seconds of audio; returns the result row."""
     kernel = rig.kernel
+    session = begin_trace(kernel, trace)
     cards = kernel.sound.cards
     if not cards:
         raise RuntimeError("no sound card registered")
@@ -66,7 +69,7 @@ def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4):
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
     ds = rig.deferred_stats()
-    return WorkloadResult(
+    result = WorkloadResult(
         name="mpg123",
         duration_s=elapsed_s,
         bytes_moved=written,
@@ -84,3 +87,5 @@ def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4):
             "device_interrupts": getattr(rig.device, "period_interrupts", 0),
         },
     )
+    finish_trace(session, result)
+    return result

@@ -11,6 +11,7 @@ give exact, stable numbers (configurable for longer runs).
 """
 
 from ..kernel import NETDEV_TX_OK, SkBuff
+from ..trace import begin_trace, finish_trace
 from .result import WorkloadResult
 
 
@@ -72,9 +73,14 @@ def _wait_for_progress(kernel, end_ns):
     kernel.run_until(min(end_ns, t))
 
 
-def netperf_send(rig, duration_s=2.0, msg_bytes=1500):
-    """Saturating send; returns throughput and CPU utilization."""
+def netperf_send(rig, duration_s=2.0, msg_bytes=1500, trace=None):
+    """Saturating send; returns throughput and CPU utilization.
+
+    ``trace`` may be falsy (off), ``True`` (summary only), a path (write
+    Chrome-trace JSON there) or an installed :class:`~repro.trace.Tracer`.
+    """
     kernel = rig.kernel
+    session = begin_trace(kernel, trace)
     dev = _open_dev(rig)
     payload = bytes(msg_bytes)
 
@@ -119,12 +125,13 @@ def netperf_send(rig, duration_s=2.0, msg_bytes=1500):
         napi_pkts_per_poll=dp["pkts_per_poll"],
         skb_pool_hit_rate=dp["pool_hit_rate"],
     )
+    finish_trace(session, result)
     kernel.net.dev_close(dev)
     return result
 
 
 def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95,
-                 sink_extra=None):
+                 sink_extra=None, trace=None):
     """Receive from a remote generator at ~line rate.
 
     ``sink_extra(dev, skb)`` is called for every delivered packet while
@@ -134,6 +141,7 @@ def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95,
     from ..devices import TrafficGenerator
 
     kernel = rig.kernel
+    session = begin_trace(kernel, trace)
     dev = _open_dev(rig)
     generator = TrafficGenerator(kernel, rig.link, frame_bytes=msg_bytes,
                                  utilization=utilization)
@@ -184,18 +192,20 @@ def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95,
         napi_pkts_per_poll=dp["pkts_per_poll"],
         skb_pool_hit_rate=dp["pool_hit_rate"],
     )
+    finish_trace(session, result)
     kernel.net.rx_sink = None
     kernel.net.dev_close(dev)
     return result
 
 
-def netperf_udp_rr(rig, duration_s=1.0, msg_bytes=1):
+def netperf_udp_rr(rig, duration_s=1.0, msg_bytes=1, trace=None):
     """UDP request/response with 1-byte messages (E1000, section 4.2).
 
     Each round trip sends a tiny frame and receives the echo the link
     peer reflects back.
     """
     kernel = rig.kernel
+    session = begin_trace(kernel, trace)
     dev = _open_dev(rig)
 
     # Remote host: echo every received frame back after a short RTT.
@@ -259,6 +269,7 @@ def netperf_udp_rr(rig, duration_s=1.0, msg_bytes=1):
         skb_pool_hit_rate=dp["pool_hit_rate"],
         extra={"transactions": responses["count"]},
     )
+    finish_trace(session, result)
     kernel.net.rx_sink = None
     rig.link.peer_rx = None
     kernel.net.dev_close(dev)

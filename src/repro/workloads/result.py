@@ -27,10 +27,28 @@ class WorkloadResult:
     napi_budget_exhaustions: int = 0
     napi_pkts_per_poll: dict = field(default_factory=dict)
     skb_pool_hit_rate: float = 0.0
+    # ktrace summary (Tracer.summary()) when the workload ran traced.
+    trace_summary: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
+    def _pkts_per_poll_compact(self):
+        """Weighted p50/max of the {work_done: count} poll histogram."""
+        hist = self.napi_pkts_per_poll
+        if not hist:
+            return "-"
+        total = sum(hist.values())
+        rank = (total + 1) // 2
+        seen = 0
+        p50 = max(hist)
+        for work in sorted(hist):
+            seen += hist[work]
+            if seen >= rank:
+                p50 = work
+                break
+        return "p50=%d/max=%d" % (p50, max(hist))
+
     def row(self):
-        return {
+        row = {
             "workload": self.name,
             "throughput_mbps": round(self.throughput_mbps, 2),
             "cpu_utilization_pct": round(100 * self.cpu_utilization, 2),
@@ -42,5 +60,12 @@ class WorkloadResult:
             "deferred_flushes": self.deferred_flushes,
             "napi_polls": self.napi_polls,
             "napi_budget_exhaustions": self.napi_budget_exhaustions,
+            "napi_pkts_per_poll": self._pkts_per_poll_compact(),
             "skb_pool_hit_rate": round(self.skb_pool_hit_rate, 4),
         }
+        # Scalar extras ride along (non-scalars, e.g. a whole Rig kept
+        # for inspection, stay out of the printable row).
+        for key, value in self.extra.items():
+            if isinstance(value, (int, float, str, bool)):
+                row.setdefault(key, value)
+        return row

@@ -9,15 +9,18 @@ relative performance (elapsed time ratio) and CPU utilization.
 import struct
 
 from ..kernel.usb import usb_sndbulkpipe
+from ..trace import begin_trace, finish_trace
 from .result import WorkloadResult
 
 BLOCK_SIZE = 512
 TAR_HEADER_CPU_NS = 20_000
 
 
-def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024):
+def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024,
+                 trace=None):
     """Untar ``archive_bytes`` of payload; returns the result row."""
     kernel = rig.kernel
+    session = begin_trace(kernel, trace)
     devices = kernel.usb.devices
     if not devices:
         raise RuntimeError("no USB device enumerated")
@@ -54,7 +57,7 @@ def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024):
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
     ds = rig.deferred_stats()
-    return WorkloadResult(
+    result = WorkloadResult(
         name="tar",
         duration_s=elapsed_s,
         bytes_moved=written,
@@ -71,3 +74,5 @@ def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024):
         extra={"files": nfiles,
                "disk_blocks_written": rig.extra["disk"].writes},
     )
+    finish_trace(session, result)
+    return result

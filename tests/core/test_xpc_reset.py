@@ -1,0 +1,46 @@
+"""reset_counters must cover every counter Xpc.__init__ defines.
+
+Satellite (c): the reset is introspective (``vars()``), so this test
+sets *every* numeric attribute to a sentinel and asserts the reset
+zeroes them all -- a counter added to ``__init__`` later can never be
+forgotten.
+"""
+
+from repro.core.xpc import Xpc
+from repro.kernel import make_kernel
+
+
+def numeric_counters(xpc):
+    return {
+        attr: value
+        for attr, value in vars(xpc).items()
+        if not attr.startswith("_")
+        and attr != "kernel"
+        and not isinstance(value, bool)
+        and isinstance(value, (int, float))
+    }
+
+
+class TestResetCounters:
+    def test_every_init_counter_is_reset(self):
+        xpc = Xpc(make_kernel())
+        counters = numeric_counters(xpc)
+        # The seed set must at least be there (sanity on introspection).
+        for expected in ("kernel_user_crossings", "lang_crossings",
+                         "bytes_marshaled", "upcalls", "downcalls",
+                         "deferred_calls", "deferred_coalesced",
+                         "deferred_flushes", "deferred_errors",
+                         "deferred_dropped"):
+            assert expected in counters, expected
+        for i, attr in enumerate(counters):
+            setattr(xpc, attr, i + 17)
+        xpc.reset_counters()
+        after = numeric_counters(xpc)
+        assert set(after) == set(counters)
+        assert all(value == 0 for value in after.values()), after
+
+    def test_reset_leaves_kernel_reference(self):
+        kernel = make_kernel()
+        xpc = Xpc(kernel)
+        xpc.reset_counters()
+        assert xpc.kernel is kernel

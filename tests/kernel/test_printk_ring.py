@@ -1,0 +1,68 @@
+"""printk ring buffer, dmesg filtering, and the printk tracepoint."""
+
+import pytest
+
+from repro.kernel import make_kernel
+from repro.kernel.core import DEFAULT_LOG_CAPACITY, Kernel
+from repro.trace import Tracer
+
+
+class TestRingBuffer:
+    def test_entries_carry_virtual_time_and_level(self, kernel):
+        kernel.run_for_ns(1234)
+        kernel.printk("hello", level="warn")
+        (entry,) = kernel.dmesg()
+        assert entry == (1234, "warn", "hello")
+
+    def test_default_level_is_info(self, kernel):
+        kernel.printk("x")
+        assert kernel.dmesg()[0][1] == "info"
+
+    def test_capacity_bounds_and_counts_drops(self):
+        k = Kernel(log_capacity=3)
+        for i in range(5):
+            k.printk("m%d" % i)
+        assert [m for _t, _l, m in k.dmesg()] == ["m2", "m3", "m4"]
+        assert k.log_dropped == 2
+
+    def test_default_capacity(self, kernel):
+        for i in range(DEFAULT_LOG_CAPACITY + 10):
+            kernel.printk("m%d" % i)
+        assert len(kernel.dmesg()) == DEFAULT_LOG_CAPACITY
+        assert kernel.log_dropped == 10
+
+    def test_dmesg_level_floor(self, kernel):
+        kernel.printk("d", level="debug")
+        kernel.printk("i", level="info")
+        kernel.printk("w", level="warn")
+        kernel.printk("e", level="err")
+        assert [m for _t, _l, m in kernel.dmesg(level="warn")] == ["w", "e"]
+        assert len(kernel.dmesg(level="debug")) == 4
+
+    def test_dmesg_rejects_unknown_level(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.dmesg(level="loud")
+
+
+class TestCompat:
+    def test_log_lines_keeps_pair_shape(self, kernel):
+        """Pre-ring consumers iterate (time_ns, message) pairs."""
+        kernel.run_for_ns(10)
+        kernel.printk("a")
+        kernel.printk("b", level="err")
+        assert kernel.log_lines == [(10, "a"), (10, "b")]
+
+
+class TestPrintkTracepoint:
+    def test_printk_emits_instant(self, kernel):
+        tracer = Tracer(kernel).install()
+        try:
+            kernel.printk("traced", level="warn")
+        finally:
+            tracer.uninstall()
+        (ev,) = [e for e in tracer.events if e["name"] == "printk"]
+        assert ev["args"] == {"level": "warn", "msg": "traced"}
+
+    def test_untraced_printk_emits_nothing(self, kernel):
+        kernel.printk("quiet")  # no tracer installed; must not raise
+        assert kernel.tracer is None

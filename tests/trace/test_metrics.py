@@ -1,0 +1,99 @@
+"""Counters and log2-bucket histograms (repro.trace.metrics)."""
+
+from repro.trace.metrics import (
+    Counter, Histogram, MetricsRegistry, bucket_upper_bound, split_label,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+
+class TestHistogramBuckets:
+    def test_zero_goes_to_bucket_zero(self):
+        h = Histogram("h")
+        h.record(0)
+        assert h.buckets[0] == 1
+        assert h.percentile(50) == 0
+
+    def test_bucket_boundaries(self):
+        # bucket b holds [2^(b-1), 2^b - 1]
+        h = Histogram("h")
+        for v in (1, 2, 3, 4, 7, 8):
+            h.record(v)
+        assert h.buckets[1] == 1  # {1}
+        assert h.buckets[2] == 2  # {2, 3}
+        assert h.buckets[3] == 2  # {4..7}
+        assert h.buckets[4] == 1  # {8..15}
+
+    def test_upper_bounds(self):
+        assert bucket_upper_bound(0) == 0
+        assert bucket_upper_bound(1) == 1
+        assert bucket_upper_bound(4) == 15
+
+    def test_negative_clamps_to_zero(self):
+        h = Histogram("h")
+        h.record(-5)
+        assert h.buckets[0] == 1
+        assert h.max == 0
+
+    def test_stats(self):
+        h = Histogram("h")
+        for v in (10, 20, 30):
+            h.record(v)
+        assert h.count == 3
+        assert h.total == 60
+        assert h.max == 30
+        assert h.mean == 20.0
+
+    def test_percentile_never_exceeds_max(self):
+        h = Histogram("h")
+        h.record(1000)  # bucket upper bound is 1023
+        assert h.percentile(50) == 1000
+        assert h.percentile(99) == 1000
+
+    def test_percentile_of_empty_is_zero(self):
+        assert Histogram("h").percentile(99) == 0
+
+    def test_percentile_is_bucket_upper_bound(self):
+        h = Histogram("h")
+        for _ in range(99):
+            h.record(4)  # bucket [4,7]
+        h.record(5000)
+        assert h.percentile(50) == 7
+        assert h.percentile(99) == 7
+
+    def test_snapshot_sparse_buckets(self):
+        h = Histogram("h")
+        h.record(4)
+        h.record(6)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"7": 2}
+        assert snap["count"] == 2
+        assert snap["p50"] == 6  # min(bucket bound 7, max 6)
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_identity(self):
+        m = MetricsRegistry()
+        c = m.counter("a")
+        assert m.counter("a") is c
+        h = m.histogram("b")
+        assert m.histogram("b") is h
+
+    def test_inc_and_record_conveniences(self):
+        m = MetricsRegistry()
+        m.inc("a", 3)
+        m.record("b", 9)
+        snap = m.snapshot()
+        assert snap["counters"] == {"a": 3}
+        assert snap["histograms"]["b"]["count"] == 1
+
+    def test_split_label(self):
+        assert split_label("xpc.bytes|e1000") == ("xpc.bytes", "e1000")
+        assert split_label("irq_ns") == ("irq_ns", "")
