@@ -65,6 +65,7 @@ class UserObjectTracker:
         self._j_by_key = {}        # (c_addr, type_id) -> obj or weakref
         self._c_by_objid = {}      # id(obj) -> (c_addr, type_id)
         self._strong_refs = {}     # id(obj) -> obj (non-weak entries)
+        self._epoch = 0            # bumped by clear(); disarms finalizers
         self.lookups = 0
         self.hits = 0
         self.auto_released = 0
@@ -82,15 +83,34 @@ class UserObjectTracker:
         self._c_by_objid[objid] = key
 
     def _make_finalizer(self, key, objid):
+        epoch = self._epoch
         def finalize(_ref):
             # Runs when the Java GC collects the object: drop the
             # association and let the runtime free the kernel twin.
+            # A finalizer armed before clear() must not fire against a
+            # later driver instance: the same simulated address can
+            # alias a brand-new object after a restart.
+            if epoch != self._epoch:
+                return
             self._j_by_key.pop(key, None)
             self._c_by_objid.pop(objid, None)
             self.auto_released += 1
             if self.release_hook is not None:
                 self.release_hook(key[0], key[1])
         return finalize
+
+    def clear(self):
+        """Drop every association (driver unload or restart).
+
+        Bumps the epoch so finalizers created for the old associations
+        become no-ops: without this, the GC of an old driver instance's
+        objects would evict entries a restarted driver re-created at
+        the same ``(c_addr, type_id)`` keys and free its live twins.
+        """
+        self._epoch += 1
+        self._j_by_key.clear()
+        self._c_by_objid.clear()
+        self._strong_refs.clear()
 
     def xlate_c_to_j(self, c_addr, type_id):
         """Find the Java object for a C pointer of a given type."""

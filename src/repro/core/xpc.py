@@ -42,6 +42,37 @@ class XpcError(Exception):
     pass
 
 
+class DriverFailedError(XpcError):
+    """A crossing was aborted or rejected because the driver FAILED.
+
+    Raised at the kernel end of a channel when an *unchecked* exception
+    escapes the user-level half (the fault that marked the channel
+    failed is ``cause``), and for every subsequent call until the
+    channel is reset -- failing fast beats computing with a corrupted
+    driver.
+    """
+
+    def __init__(self, message, cause=None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class FailurePolicy:
+    """What the kernel end of a channel does with escaping exceptions.
+
+    ``checked`` exception types are part of the driver's error protocol
+    (Decaf's checked exceptions): they propagate to the caller, which
+    translates them to errnos.  Anything else is a driver *failure*:
+    the channel is marked FAILED and ``on_fault(exc, callsite)`` is
+    invoked (the supervisor's hook).  A channel without a policy keeps
+    the raw propagate-everything semantics the core tests rely on.
+    """
+
+    def __init__(self, checked=(), on_fault=None):
+        self.checked = tuple(checked)
+        self.on_fault = on_fault
+
+
 def _callsite(func):
     """Human-readable name of the function crossing the boundary."""
     return (
@@ -135,16 +166,23 @@ class Xpc:
         self.deferred_flushes = 0     # batches flushed (crossings paid)
         self.deferred_errors = 0      # notifications whose handler raised
         self.deferred_dropped = 0     # pending notifications dropped at close
+        # Failure-boundary accounting.
+        self.boundary_faults = 0      # unchecked exceptions contained
+        self.failed_calls = 0         # calls rejected fast on a FAILED channel
+        self.deferred_error_types = {}  # exception type name -> count
 
     def reset_counters(self):
         """Zero every numeric counter this object carries.
 
         Introspective on purpose: a counter added to ``__init__`` can
         never be forgotten here (``tests/core/test_xpc_reset.py`` pins
-        the contract down).
+        the contract down).  Dict-valued counters are cleared.
         """
         for attr, value in vars(self).items():
             if attr.startswith("_") or attr == "kernel":
+                continue
+            if isinstance(value, dict):
+                value.clear()
                 continue
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
@@ -187,6 +225,17 @@ class XpcChannel:
         self._deferred = []
         self._flushing = False
         self.closed = False
+        # Failure boundary (opt-in): DecafPlumbing installs a
+        # FailurePolicy; a bare channel propagates everything.
+        self.failure_policy = None
+        self.failed = False
+        self.failure = None           # (exc, callsite, ns) of first fault
+        self.last_deferred_error = None
+        # Fault-injection hooks (repro.faults): inject_hook(kind,
+        # callsite) may raise before user code runs; corrupt_hook(data,
+        # direction) may mangle a marshaled payload in flight.
+        self.inject_hook = None
+        self.corrupt_hook = None
         # Stats of the most recent _transfer_args call:
         # (bytes, fields, tracker_lookups, tracker_hits, delta_saved).
         # Call sites that trace read it immediately after each transfer.
@@ -233,6 +282,99 @@ class XpcChannel:
             self._deferred.clear()
         self.release_handles()
         self._canonical_map.clear()
+        # Associations made by this driver instance must not survive it:
+        # a reloaded driver's objects can land at the same simulated
+        # addresses and alias stale entries.
+        self.user_tracker.clear()
+
+    def reset_user_side(self):
+        """Reset the user end of a FAILED channel for a driver restart.
+
+        Everything the dead user-level half owned is dropped: pending
+        notifications (counted as dropped), opaque handles, canonical
+        aliases, and the user object tracker (epoch-bumped, so GC of
+        the dead instance's objects cannot release the new instance's
+        twins).  Kernel-side state (the kernel tracker, counters) stays:
+        kernel objects survive the restart.
+        """
+        if self._deferred:
+            self.xpc.deferred_dropped += len(self._deferred)
+            self._deferred.clear()
+        self.release_handles()
+        self._canonical_map.clear()
+        self.user_tracker.clear()
+        self.failed = False
+        self.failure = None
+
+    # -- failure containment ----------------------------------------------------
+
+    def _contain(self, exc, callsite):
+        """Decide whether ``exc`` escaping ``callsite`` is a driver fault.
+
+        Checked exceptions (per the installed policy) and exceptions on
+        a policy-free channel propagate -- return False.  Anything else
+        marks the channel FAILED, counts the fault, and notifies the
+        policy's fault hook; the caller then raises DriverFailedError.
+        """
+        policy = self.failure_policy
+        if policy is None or isinstance(exc, policy.checked):
+            return False
+        if isinstance(exc, DriverFailedError):
+            # Already accounted for by the crossing that contained it;
+            # let it propagate unchanged through nested calls.
+            return False
+        kernel = self.xpc.kernel
+        self.xpc.boundary_faults += 1
+        if not self.failed:
+            self.failed = True
+            self.failure = (exc, callsite, kernel.clock.now_ns)
+        kernel.printk(
+            "xpc %s: unchecked %s escaped %s: %s -- driver FAILED"
+            % (self.name, type(exc).__name__, callsite, exc),
+            level="err",
+        )
+        tracer = kernel.tracer
+        if tracer is not None:
+            tracer.instant("xpc.fault", {
+                "driver": self.name, "callsite": callsite,
+                "exc": type(exc).__name__,
+            })
+            tracer.metrics.inc("xpc.boundary_faults|%s" % self.name)
+        if policy.on_fault is not None:
+            policy.on_fault(exc, callsite)
+        return True
+
+    def _record_deferred_error(self, func, exc):
+        """Keep the evidence when a deferred handler raises (satellite:
+        the old path swallowed type and traceback entirely)."""
+        self.last_deferred_error = exc
+        name = type(exc).__name__
+        types = self.xpc.deferred_error_types
+        types[name] = types.get(name, 0) + 1
+        kernel = self.xpc.kernel
+        kernel.printk(
+            "xpc %s: deferred notification %s raised %s: %s"
+            % (self.name, _callsite(func), name, exc),
+            level="warn",
+        )
+        tracer = kernel.tracer
+        if tracer is not None:
+            tracer.instant("xpc.deferred_error", {
+                "driver": self.name, "callsite": _callsite(func),
+                "exc": name,
+            })
+            tracer.metrics.inc("deferred_error_types|%s" % name)
+
+    def _fail_fast(self, kind, func):
+        """Reject a call on a FAILED channel without crossing."""
+        self.xpc.failed_calls += 1
+        exc, callsite, _ns = self.failure or (None, "?", 0)
+        raise DriverFailedError(
+            "xpc %s: %s %s rejected -- driver FAILED (first fault: %s at %s)"
+            % (self.name, kind, _callsite(func),
+               type(exc).__name__ if exc is not None else "?", callsite),
+            cause=exc,
+        )
 
     def canonicalize_user_object(self, user_identity, type_id, kernel_obj):
         """Re-key a Java-born object to its new kernel twin's address."""
@@ -308,6 +450,8 @@ class XpcChannel:
         data, nfields = codec.encode_args(
             args, direction, ctx=src_ctx, delta=delta
         )
+        if self.corrupt_hook is not None:
+            data = self.corrupt_hook(data, direction)
         twins = codec.decode_args(
             data, [cls for _obj, cls in args], direction, ctx=dst_ctx,
             delta=delta,
@@ -362,11 +506,18 @@ class XpcChannel:
         """Drain the deferred queue in one batched crossing.
 
         Called implicitly at every upcall/downcall (sync points) and
-        explicitly by nuclei at sleep-capable points.  Handler
-        exceptions are swallowed and counted -- one-way notifications
-        have no caller to propagate to.  Returns the batch size.
+        explicitly by nuclei at sleep-capable points.  Checked handler
+        exceptions are recorded and swallowed -- one-way notifications
+        have no caller to propagate to.  Unchecked ones (under a
+        failure policy) mark the driver FAILED and drop the rest of the
+        batch.  Returns the batch size.
         """
         if not self._deferred or self._flushing:
+            return 0
+        if self.failed:
+            # The user-level half is dead; its notifications go nowhere.
+            self.xpc.deferred_dropped += len(self._deferred)
+            self._deferred.clear()
             return 0
         kernel = self.xpc.kernel
         kernel.context.might_sleep("XPC deferred-notification flush")
@@ -383,8 +534,10 @@ class XpcChannel:
             self.xpc.deferred_flushes += 1
             self.xpc.kernel_user_crossings += 1
             self._charge_batch_crossing(len(batch))
-            for func, args, extra in batch:
+            for index, (func, args, extra) in enumerate(batch):
                 try:
+                    if self.inject_hook is not None:
+                        self.inject_hook("notify", _callsite(func))
                     twins = self._transfer_args(list(args), TO_USER)
                     if transfers is not None:
                         # Read immediately: a handler that downcalls
@@ -396,8 +549,16 @@ class XpcChannel:
                         func(*(list(twins) + list(extra or ())))
                     finally:
                         self.domains.pop(DRIVER_LIB)
-                except Exception:
+                except Exception as exc:
                     self.xpc.deferred_errors += 1
+                    self._record_deferred_error(func, exc)
+                    if self._contain(exc, _callsite(func)):
+                        # The driver just FAILED; the batch's remaining
+                        # notifications belong to the dead instance.
+                        remaining = len(batch) - index - 1
+                        if remaining:
+                            self.xpc.deferred_dropped += remaining
+                        break
             if tracer is not None:
                 tracer.xpc_span(
                     "xpc.flush", start_ns, self.name, "defer-batch",
@@ -420,22 +581,39 @@ class XpcChannel:
         """
         kernel = self.xpc.kernel
         kernel.context.might_sleep("XPC upcall to user level")
+        if self.failed:
+            self._fail_fast("upcall", func)
         self.xpc.upcalls += 1
         self.xpc.kernel_user_crossings += 1
         tracer = kernel.tracer
         start_ns = kernel.clock.now_ns if tracer is not None else 0
         self._charge_kernel_crossing()
-        twins = self._transfer_args(list(args), TO_USER)
-        fwd = self.last_transfer
-        self.domains.push(DRIVER_LIB)
+        # Everything from the forward transfer through the delta return
+        # trip runs on behalf of the user-level half: an unchecked
+        # exception anywhere in it (including a payload that fails to
+        # decode) is a driver failure, not a kernel one.
         try:
-            call_args = list(twins) + list(extra or ())
-            ret = func(*call_args)
-        finally:
-            self.domains.pop(DRIVER_LIB)
-        # Return path: only fields the user level wrote propagate back.
-        self._transfer_args(list(args_back(args, twins)), TO_KERNEL,
-                            delta=True)
+            twins = self._transfer_args(list(args), TO_USER)
+            fwd = self.last_transfer
+            self.domains.push(DRIVER_LIB)
+            try:
+                if self.inject_hook is not None:
+                    self.inject_hook("upcall", _callsite(func))
+                call_args = list(twins) + list(extra or ())
+                ret = func(*call_args)
+            finally:
+                self.domains.pop(DRIVER_LIB)
+            # Return path: only fields the user level wrote propagate back.
+            self._transfer_args(list(args_back(args, twins)), TO_KERNEL,
+                                delta=True)
+        except Exception as exc:
+            if self._contain(exc, _callsite(func)):
+                raise DriverFailedError(
+                    "xpc %s: driver failed during upcall %s"
+                    % (self.name, _callsite(func)),
+                    cause=exc,
+                ) from exc
+            raise
         self._charge_kernel_crossing()
         if tracer is not None:
             # Before flush_deferred: the flush is its own crossing and
@@ -451,6 +629,8 @@ class XpcChannel:
     def downcall(self, func, args=(), extra=None):
         """User -> kernel: invoke a kernel function from user level."""
         kernel = self.xpc.kernel
+        if self.failed:
+            self._fail_fast("downcall", func)
         self.xpc.downcalls += 1
         self.xpc.kernel_user_crossings += 1
         tracer = kernel.tracer
@@ -479,6 +659,8 @@ class XpcChannel:
         arguments are complex; scalar-only calls may bypass XPC
         entirely via :meth:`direct_call`.
         """
+        if self.failed:
+            self._fail_fast("lang_call", func)
         self.xpc.lang_crossings += 1
         tracer = self.xpc.kernel.tracer
         start_ns = self.xpc.kernel.clock.now_ns if tracer is not None else 0

@@ -90,6 +90,8 @@ class E1000Nucleus:
         if ret:
             self.adapter = None
             legacy._state.adapter = None
+        else:
+            self.plumbing.record("probe")
         return ret
 
     def remove(self, pdev):
@@ -107,29 +109,43 @@ class E1000Nucleus:
         ret = self.plumbing.upcall(
             self.decaf.open, args=[(self.adapter, e1000_adapter)]
         )
+        if ret == 0:
+            self.plumbing.record("open")
         return ret
 
     def stub_close(self, dev):
-        return self.plumbing.upcall(
+        ret = self.plumbing.upcall(
             self.decaf.close, args=[(self.adapter, e1000_adapter)]
         )
+        if ret == 0:
+            self.plumbing.unrecord("open")
+        return ret
 
     def stub_set_multi(self, dev):
-        return self.plumbing.upcall(
+        ret = self.plumbing.upcall(
             self.decaf.set_multi, args=[(self.adapter, e1000_adapter)]
         )
+        if ret == 0:
+            self.plumbing.record("set_multi")
+        return ret
 
     def stub_set_mac(self, dev, addr):
-        return self.plumbing.upcall(
+        ret = self.plumbing.upcall(
             self.decaf.set_mac, args=[(self.adapter, e1000_adapter)],
             extra=(list(addr),),
         )
+        if ret == 0:
+            self.plumbing.record("set_mac", list(addr))
+        return ret
 
     def stub_change_mtu(self, dev, new_mtu):
-        return self.plumbing.upcall(
+        ret = self.plumbing.upcall(
             self.decaf.change_mtu, args=[(self.adapter, e1000_adapter)],
             extra=(new_mtu,),
         )
+        if ret == 0:
+            self.plumbing.record("change_mtu", new_mtu)
+        return ret
 
     def stub_tx_timeout(self, dev):
         return self.plumbing.upcall(
@@ -241,6 +257,16 @@ class E1000Nucleus:
         )
 
     def k_register_netdev(self, adapter):
+        if self.netdev is not None:
+            # Recovery replay: the kernel-facing netdev survives the
+            # user-half restart so applications keep their references
+            # and "eth0" its identity; just refresh what probe set.
+            dev = self.netdev
+            dev.dev_addr = bytes(adapter.hw.mac_addr)
+            dev.priv = adapter
+            dev.base_addr = adapter.hw.hw_addr
+            legacy._state.netdev = dev
+            return 0
         dev = self.linux.alloc_etherdev("eth%d")
         dev.dev_addr = bytes(adapter.hw.mac_addr)
         dev.priv = adapter
@@ -337,6 +363,61 @@ class E1000Nucleus:
 
     def k_set_netdev_mtu(self, mtu):
         self.netdev.mtu = mtu
+        return 0
+
+    # -- supervised recovery ------------------------------------------------------------
+
+    def fault_quiesce(self):
+        """Silence the device after a user-half failure; kernel side only.
+
+        Mirrors ``k_down`` plus resource teardown, but never crosses to
+        user level (the half that would answer is dead).  The netdev
+        stays registered -- its identity is preserved across recovery.
+        Returns the number of in-flight TX packets discarded.
+        """
+        self.k_stop_watchdog()
+        adapter = self.adapter
+        if adapter is None:
+            return 0
+        lost = 0
+        if self.irq_requested:
+            hw = adapter.hw
+            tx = adapter.tx_ring
+            lost = (tx.next_to_use - tx.next_to_clean) % tx.count
+            self.kernel.io.writel(0xFFFFFFFF, hw.hw_addr + hw_defs.IMC)
+            legacy.e1000_napi_down()
+            self.linux.netif_stop_queue(self.netdev)
+            self.linux.netif_carrier_off(self.netdev)
+            legacy.e1000_clean_all_tx_rings(adapter)
+            legacy.e1000_clean_all_rx_rings(adapter)
+            self.k_free_irq()
+            legacy.e1000_free_tx_resources(adapter, adapter.tx_ring)
+            legacy.e1000_free_rx_resources(adapter, adapter.rx_ring)
+        self.k_pci_teardown()
+        return lost
+
+    def rebuild_user_half(self):
+        """Fresh user-level instances bound to the restarted runtime."""
+        self.library = E1000DriverLibrary(self.kernel, self.plumbing.channel)
+        self.decaf = E1000DecafDriver(self.plumbing.decaf_rt, self,
+                                      self.library)
+
+    def replay_op(self, op, args):
+        if op == "probe":
+            ret = self.plumbing.upcall(
+                self.decaf.init_one,
+                args=[(self.adapter, e1000_adapter)],
+                extra=(self.module_options,),
+            )
+            return ret
+        if op == "open":
+            return self.stub_open(self.netdev)
+        if op == "set_multi":
+            return self.stub_set_multi(self.netdev)
+        if op == "set_mac":
+            return self.stub_set_mac(self.netdev, args[0])
+        if op == "change_mtu":
+            return self.stub_change_mtu(self.netdev, args[0])
         return 0
 
     # -- diagnostics that stay in the kernel (section 5's data race) ------------------------

@@ -17,6 +17,10 @@ from ..legacy.ens1371 import (
     DRV_NAME,
     ENSONIQ_VENDOR_ID,
     ES1371_DEVICE_ID,
+    ES_DAC2_EN,
+    ES_P2_INTR_EN,
+    ES_REG_CONTROL,
+    ES_REG_SERIAL,
     ensoniq,
 )
 from ..linuxapi import LinuxApi
@@ -35,6 +39,7 @@ class Ens1371Nucleus:
         self.decaf = None
         self.pdev = None
         self.card = None
+        self.irq_requested = False
         self.pci_glue = _PciGlue(self)
 
     def init(self):
@@ -75,6 +80,8 @@ class Ens1371Nucleus:
         )
         if ret:
             legacy._state.ensoniq = None
+        else:
+            self.plumbing.record("probe")
         return ret
 
     def remove(self, pdev):
@@ -92,13 +99,20 @@ class Ens1371Nucleus:
 
     def stub_open(self, substream):
         substream.private_data = legacy._state.ensoniq
-        return self.plumbing.upcall(self.decaf.playback_open,
-                                    args=self._chip_args())
+        ret = self.plumbing.upcall(self.decaf.playback_open,
+                                   args=self._chip_args())
+        if ret == 0:
+            self.plumbing.record("pcm_open")
+        return ret
 
     def stub_close(self, substream):
         ret = self.plumbing.upcall(self.decaf.playback_close,
                                    args=self._chip_args())
         substream.private_data = None
+        if ret == 0:
+            for op in ("pcm_open", "pcm_hw_params", "pcm_prepare",
+                       "pcm_trigger"):
+                self.plumbing.unrecord(op)
         return ret
 
     def stub_hw_params(self, substream):
@@ -111,22 +125,32 @@ class Ens1371Nucleus:
         )
         if ret == 0:
             rt.dma_region = legacy._state.dac2_dma
+            self.plumbing.record("pcm_hw_params")
         return ret
 
     def stub_prepare(self, substream):
         rt = substream.runtime
-        return self.plumbing.upcall(
+        ret = self.plumbing.upcall(
             self.decaf.playback_prepare,
             args=self._chip_args(),
             extra=(rt.sample_bytes, rt.channels, rt.period_bytes,
                    rt.frame_bytes()),
         )
+        if ret == 0:
+            self.plumbing.record("pcm_prepare")
+        return ret
 
     def stub_trigger(self, substream, cmd):
-        return self.plumbing.upcall(
+        ret = self.plumbing.upcall(
             self.decaf.playback_trigger, args=self._chip_args(),
             extra=(cmd,),
         )
+        if ret == 0:
+            if cmd:
+                self.plumbing.record("pcm_trigger", cmd)
+            else:
+                self.plumbing.unrecord("pcm_trigger")
+        return ret
 
     # pointer stays in the kernel: irq context (see legacy driver).
     def op_pointer(self, substream):
@@ -165,21 +189,33 @@ class Ens1371Nucleus:
         return ret
 
     def k_request_irq(self, chip):
-        return self.linux.request_irq(
+        ret = self.linux.request_irq(
             chip.irq, self._interrupt, DRV_NAME,
             legacy._state.ensoniq,
         )
+        if ret == 0:
+            self.irq_requested = True
+        return ret
 
     def k_free_irq(self, chip):
         self.linux.free_irq(chip.irq, legacy._state.ensoniq)
+        self.irq_requested = False
         return 0
 
     def k_ctl_add(self, name):
         if self.card is None:
             return -self.linux.EINVAL
+        if name in self.card.controls:
+            # Recovery replay re-adds the mixer controls; keep them.
+            return 0
         return self.linux.snd_ctl_add(self.card, name)
 
     def k_new_card(self):
+        if self.card is not None:
+            # Recovery replay: the app still holds the old substream
+            # (blocked mid-pcm_write); the card must survive the
+            # user-half restart.
+            return 0
         card = self.linux.snd_card_new("AudioPCI-decaf")
         pcm = card.new_pcm("ES1371/1")
         pcm.playback.ops = _PcmOpsStub(self)
@@ -190,6 +226,8 @@ class Ens1371Nucleus:
         return 0
 
     def k_card_register(self):
+        if self.card is not None and self.card.registered:
+            return 0
         return self.linux.snd_card_register(self.card)
 
     def k_register_card(self):
@@ -223,6 +261,48 @@ class Ens1371Nucleus:
         if legacy._state.dac2_dma is not None:
             self.linux.dma_free_coherent(legacy._state.dac2_dma)
             legacy._state.dac2_dma = None
+        return 0
+
+    # -- supervised recovery ------------------------------------------------------
+
+    def fault_quiesce(self):
+        """Kernel-side quiesce after a user-half failure (no upcalls).
+
+        Silences DAC2 and its interrupt directly through the registers
+        (the dead driver can't be asked to), then drops the irq and the
+        PCI claim.  The card, pcm and substream survive -- the app is
+        blocked mid-``pcm_write`` on the old substream.
+        """
+        chip = legacy._state.ensoniq
+        if chip is None:
+            return 0
+        if self.irq_requested:
+            chip.ctrl &= ~ES_DAC2_EN
+            self.kernel.io.outl(chip.ctrl, chip.port + ES_REG_CONTROL)
+            chip.sctrl &= ~ES_P2_INTR_EN
+            self.kernel.io.outl(chip.sctrl, chip.port + ES_REG_SERIAL)
+            chip.playing = False
+            self.k_free_irq(chip)
+        self.k_pci_teardown()
+        return 0
+
+    def rebuild_user_half(self):
+        self.decaf = Ens1371DecafDriver(self.plumbing.decaf_rt, self)
+
+    def replay_op(self, op, args):
+        if op == "probe":
+            return self.plumbing.upcall(
+                self.decaf.probe, args=self._chip_args()
+            )
+        sub = legacy._state.substream
+        if op == "pcm_open":
+            return self.stub_open(sub)
+        if op == "pcm_hw_params":
+            return self.stub_hw_params(sub)
+        if op == "pcm_prepare":
+            return self.stub_prepare(sub)
+        if op == "pcm_trigger":
+            return self.stub_trigger(sub, args[0])
         return 0
 
 

@@ -12,7 +12,8 @@ generated metadata, not hand-maintained field lists.
 
 from ...core.domains import DomainManager
 from ...core.runtime import DecafRuntime, NuclearRuntime
-from ...core.xpc import Xpc, XpcChannel
+from ...core.xpc import DriverFailedError, FailurePolicy, Xpc, XpcChannel
+from ...recovery.log import ReplayLog
 from ..decaf.exceptions import DriverException, errno_of
 
 _PLAN_CACHE = {}
@@ -79,6 +80,19 @@ class DecafPlumbing:
         self.nuclear = NuclearRuntime(kernel, self.domains, self.channel,
                                       irq_line=irq_line)
         self.decaf_rt = DecafRuntime(kernel, self.domains, self.channel)
+        # Failure boundary: DriverException is the checked error
+        # protocol; anything else escaping the user level marks the
+        # driver FAILED and notifies the supervisor, if one is attached.
+        self.channel.failure_policy = FailurePolicy(
+            checked=(DriverException,), on_fault=self._on_fault
+        )
+        self.replay_log = ReplayLog()
+        self.supervisor = None  # attached by repro.recovery.DriverSupervisor
+        self.restarts = 0
+
+    def _on_fault(self, exc, callsite):
+        if self.supervisor is not None:
+            self.supervisor.note_fault(exc, callsite)
 
     def upcall(self, func, args=(), extra=None):
         """Kernel -> decaf call with exception-to-errno bridging.
@@ -86,13 +100,49 @@ class DecafPlumbing:
         RPC semantics only pass scalars back; a DriverException raised
         by the decaf driver crosses the boundary as its negative errno,
         exactly how the paper's generated stubs report failures to the
-        kernel.
+        kernel.  An *unchecked* exception is a driver failure: the
+        channel contains it (never letting it reach the kernel caller);
+        with a supervisor attached the driver is restarted in place and
+        the call retried once, otherwise the caller sees the fault's
+        errno.
         """
         try:
             ret = self.nuclear.upcall(func, args, extra)
         except DriverException as exc:
             return errno_of(exc)
+        except DriverFailedError as exc:
+            if self.supervisor is not None and self.supervisor.recover():
+                try:
+                    ret = self.nuclear.upcall(func, args, extra)
+                except DriverException as exc2:
+                    return errno_of(exc2)
+                except DriverFailedError as exc2:
+                    return errno_of(exc2.cause)
+                return 0 if ret is None else ret
+            return errno_of(exc.cause)
         return 0 if ret is None else ret
+
+    # -- recovery support -------------------------------------------------------
+
+    def record(self, op, *args):
+        """Record a configuration call for shadow-driver replay."""
+        self.replay_log.record(op, *args)
+
+    def unrecord(self, op):
+        self.replay_log.remove(op)
+
+    def restart_user_half(self):
+        """Replace the dead user-level half with a fresh one.
+
+        The channel keeps its kernel side (trackers, counters, codec);
+        the user side is reset and a new DecafRuntime started -- paying
+        the JVM startup cost again, which is the dominant term of the
+        paper's recovery latency.
+        """
+        self.channel.reset_user_side()
+        self.decaf_rt = DecafRuntime(self.kernel, self.domains, self.channel)
+        self.decaf_rt.start()
+        self.restarts += 1
 
     def notify(self, func, args=(), extra=None):
         """Queue a fire-and-forget kernel -> decaf notification.

@@ -30,6 +30,7 @@ class PsmouseDecafDriver:
     def __init__(self, rt, nucleus):
         self.rt = rt
         self.nucleus = nucleus
+        self.resyncs = 0
 
     # -- command plumbing ---------------------------------------------------------
 
@@ -166,4 +167,18 @@ class PsmouseDecafDriver:
     def disconnect(self, psmouse):
         self.deactivate(psmouse)
         self._down(self.nucleus.k_unregister_input_device)
+        return 0
+
+    # -- periodic resync check (timer -> work item -> here) -----------------------
+
+    def resync_check(self, psmouse):
+        """Periodic health check of the activated mouse.
+
+        Pure bookkeeping -- issuing PS/2 commands here would interleave
+        with the motion stream -- but as an upcall that runs mid-
+        workload it is the fault-injection point for this driver.
+        """
+        if psmouse.state != PSMOUSE_STATE_ACTIVATED:
+            return 0
+        self.resyncs += 1
         return 0

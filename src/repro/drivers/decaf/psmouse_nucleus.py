@@ -24,6 +24,7 @@ class PsmouseNucleus:
         self.plumbing = None
         self.decaf = None
         self.serio = None
+        self.resync_timer = None
 
     # -- module lifecycle ------------------------------------------------------
 
@@ -54,9 +55,12 @@ class PsmouseNucleus:
         if ret:
             self.serio.close()
             legacy._state.psmouse = None
+        else:
+            self.plumbing.record("connect")
         return ret
 
     def cleanup(self):
+        self.stop_resync()
         if self.decaf is not None and legacy._state.psmouse is not None:
             self.plumbing.upcall(
                 self.decaf.disconnect,
@@ -66,6 +70,37 @@ class PsmouseNucleus:
             self.serio.close()
         legacy._state.psmouse = None
         legacy._state.input_dev = None
+
+    # -- deferred resync check: timer -> work item -> decaf driver -----------------
+    #
+    # Only runs under supervision: an unsupervised mouse's decaf half is
+    # never invoked by movement (the decoder is interrupt-resident), and
+    # the periodic health poll would break that contract.
+
+    def supervision_started(self):
+        if legacy._state.psmouse is not None and self.resync_timer is None:
+            self.start_resync()
+
+    def start_resync(self):
+        self.resync_timer = self.plumbing.nuclear.defer_timer(
+            self._resync_work, name="psmouse-resync"
+        )
+        self.resync_timer.mod_timer_after(1_000_000_000)
+
+    def stop_resync(self):
+        if self.resync_timer is not None:
+            self.resync_timer.del_timer()
+            self.resync_timer = None
+
+    def _resync_work(self, _data):
+        if self.decaf is None or legacy._state.psmouse is None:
+            return
+        self.plumbing.upcall(
+            self.decaf.resync_check,
+            args=[(legacy._state.psmouse, psmouse_struct)],
+        )
+        if self.resync_timer is not None:
+            self.resync_timer.mod_timer_after(1_000_000_000)
 
     # -- kernel entry points ------------------------------------------------------
 
@@ -79,6 +114,10 @@ class PsmouseNucleus:
         return legacy.ps2_command(command, params_out, tuple(params_in))
 
     def k_register_input_device(self, psmouse):
+        if legacy._state.input_dev is not None:
+            # Recovery replay: the input device (and whatever readers
+            # hold it) survives the user-half restart.
+            return 0
         input_dev = self.linux.input_allocate_device(psmouse.name)
         input_dev.set_capability(legacy.EV_KEY, legacy.BTN_LEFT)
         input_dev.set_capability(legacy.EV_KEY, legacy.BTN_RIGHT)
@@ -102,6 +141,38 @@ class PsmouseNucleus:
     def k_set_state(self, psmouse, state):
         legacy._state.psmouse.state = state
         psmouse.state = state
+        return 0
+
+    # -- supervised recovery ------------------------------------------------------
+
+    def fault_quiesce(self):
+        """Kernel-side quiesce after a user-half failure (no upcalls).
+
+        Stops the resync timer and drops the mouse back to the
+        initializing state so interrupt bytes are discarded until the
+        replayed connect re-activates it.  The serio port and input
+        device survive the user-half restart.
+        """
+        self.stop_resync()
+        psmouse = legacy._state.psmouse
+        if psmouse is None:
+            return 0
+        psmouse.state = legacy.PSMOUSE_STATE_INITIALIZING
+        legacy._state.packet = []
+        return 0
+
+    def rebuild_user_half(self):
+        self.decaf = PsmouseDecafDriver(self.plumbing.decaf_rt, self)
+
+    def replay_op(self, op, args):
+        if op == "connect":
+            ret = self.plumbing.upcall(
+                self.decaf.connect,
+                args=[(legacy._state.psmouse, psmouse_struct)],
+            )
+            if ret == 0:
+                self.start_resync()
+            return ret
         return 0
 
 

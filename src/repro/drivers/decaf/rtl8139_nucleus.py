@@ -37,6 +37,7 @@ class Rtl8139Nucleus:
         self.decaf = None
         self.pdev = None
         self.link_work_timer = None
+        self.irq_requested = False
         self.pci_glue = _PciGlue(self)
 
     # -- module lifecycle ------------------------------------------------------
@@ -73,6 +74,8 @@ class Rtl8139Nucleus:
         )
         if ret:
             legacy._state.tp = None
+        else:
+            self.plumbing.record("probe")
         return ret
 
     def remove(self, pdev):
@@ -84,14 +87,20 @@ class Rtl8139Nucleus:
     # -- netdev ops: stubs that transfer to user level -----------------------------
 
     def stub_open(self, dev):
-        return self.plumbing.upcall(
+        ret = self.plumbing.upcall(
             self.decaf.open, args=[(legacy._state.tp, rtl8139_private)]
         )
+        if ret == 0:
+            self.plumbing.record("open")
+        return ret
 
     def stub_close(self, dev):
-        return self.plumbing.upcall(
+        ret = self.plumbing.upcall(
             self.decaf.close, args=[(legacy._state.tp, rtl8139_private)]
         )
+        if ret == 0:
+            self.plumbing.unrecord("open")
+        return ret
 
     def stub_get_stats(self, dev):
         # Cheap accessor: served from the kernel copy, as the real
@@ -104,11 +113,14 @@ class Rtl8139Nucleus:
         return legacy.rtl8139_set_rx_mode(dev)
 
     def stub_set_mac_address(self, dev, addr):
-        return self.plumbing.upcall(
+        ret = self.plumbing.upcall(
             self.decaf.set_mac_address,
             args=[(legacy._state.tp, rtl8139_private)],
             extra=(list(addr),),
         )
+        if ret == 0:
+            self.plumbing.record("set_mac", list(addr))
+        return ret
 
     def stub_tx_timeout(self, dev):
         # Must run at high priority; stays kernel.
@@ -148,6 +160,15 @@ class Rtl8139Nucleus:
         return legacy.rtl8139_chip_reset(tp)
 
     def k_register_netdev(self, tp):
+        if legacy._state.netdev is not None:
+            # Recovery replay: keep the registered netdev (and "eth0")
+            # alive across the user-half restart; refresh probe output.
+            dev = legacy._state.netdev
+            dev.dev_addr = bytes(tp.mac_addr)
+            dev.priv = tp
+            dev.irq = tp.irq
+            dev.base_addr = tp.ioaddr
+            return 0
         dev = self.linux.alloc_etherdev("eth%d")
         dev.dev_addr = bytes(tp.mac_addr)
         dev.priv = tp
@@ -173,15 +194,19 @@ class Rtl8139Nucleus:
         return 0
 
     def k_request_irq(self, tp):
-        return self.linux.request_irq(
+        ret = self.linux.request_irq(
             tp.irq, legacy.rtl8139_interrupt, DRV_NAME, legacy._state.netdev
         )
+        if ret == 0:
+            self.irq_requested = True
+        return ret
 
     def k_free_irq(self, tp):
         # NAPI must be gone (line unmasked) before free_irq: free_irq
         # does not reset the line's disable depth.
         legacy.rtl8139_napi_del()
         self.linux.free_irq(tp.irq, legacy._state.netdev)
+        self.irq_requested = False
         return 0
 
     def k_alloc_rings(self):
@@ -210,6 +235,48 @@ class Rtl8139Nucleus:
 
     def k_check_media(self, tp):
         return 1 if legacy.rtl8139_check_media(legacy._state.netdev, tp) else 0
+
+    # -- supervised recovery ------------------------------------------------------
+
+    def fault_quiesce(self):
+        """Kernel-side quiesce after a user-half failure (no upcalls).
+
+        Undoes what the dead driver's open/probe set up on the kernel
+        side -- link watch, queue, irq, rings, PCI claim -- leaving the
+        netdev registered for the replayed probe to reuse.  Returns the
+        number of in-flight TX packets discarded.
+        """
+        self.stop_link_watch()
+        tp = legacy._state.tp
+        if tp is None:
+            return 0
+        lost = 0
+        if self.irq_requested:
+            lost = max(0, tp.cur_tx - tp.dirty_tx)
+            dev = legacy._state.netdev
+            if dev is not None:
+                self.linux.netif_stop_queue(dev)
+                self.linux.netif_carrier_off(dev)
+            self.k_free_irq(tp)
+            legacy.rtl8139_free_rings()
+        self.linux.pci_release_regions(self.pdev)
+        self.linux.pci_disable_device(self.pdev)
+        return lost
+
+    def rebuild_user_half(self):
+        self.decaf = Rtl8139DecafDriver(self.plumbing.decaf_rt, self)
+
+    def replay_op(self, op, args):
+        if op == "probe":
+            return self.plumbing.upcall(
+                self.decaf.init_one,
+                args=[(legacy._state.tp, rtl8139_private)],
+            )
+        if op == "open":
+            return self.stub_open(legacy._state.netdev)
+        if op == "set_mac":
+            return self.stub_set_mac_address(legacy._state.netdev, args[0])
+        return 0
 
 
 class _PciGlue:

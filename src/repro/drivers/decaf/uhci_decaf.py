@@ -15,6 +15,9 @@ class UhciDecafDriver:
     def __init__(self, rt, nucleus):
         self.rt = rt
         self.nucleus = nucleus
+        self.rh_polls = 0
+        self.port_changes = 0
+        self._last_status = {}
 
     def _down(self, func, uhci=None, extra=None, exc=DriverException):
         args = [(uhci, uhci_hcd_state)] if uhci is not None else []
@@ -57,4 +60,35 @@ class UhciDecafDriver:
         self._down(self.nucleus.k_reset_hc, uhci, exc=HardwareException)
         self._down(self.nucleus.k_start, uhci, exc=HardwareException)
         uhci.is_stopped = 0
+        return 0
+
+    # -- periodic root-hub status poll (timer -> work item -> here) ---------------
+
+    def rh_status_check(self, uhci):
+        """Poll the root-hub port-status registers for connect changes.
+
+        Management-plane work mid-workload -- and therefore this
+        driver's fault-injection point.
+        """
+        self.rh_polls += 1
+        for port in range(uhci.rh_numports):
+            status = self._down(self.nucleus.k_port_status, extra=(port,))
+            if self._last_status.get(port) is not None \
+                    and self._last_status[port] != status:
+                self.port_changes += 1
+            self._last_status[port] = status
+        return 0
+
+    # -- recovery reattach (replayed in place of probe) ---------------------------
+
+    def reattach(self, uhci):
+        """Adopt the still-running controller after a user-half restart.
+
+        The schedule never stopped (the data path is kernel-resident);
+        reattach just verifies the controller is alive instead of
+        re-running bring-up against live hardware.
+        """
+        if not self._down(self.nucleus.k_schedule_running):
+            raise HardwareException("controller schedule stopped")
+        self._last_status = {}
         return 0

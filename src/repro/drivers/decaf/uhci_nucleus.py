@@ -34,6 +34,7 @@ class UhciNucleus:
         self.plumbing = None
         self.decaf = None
         self.pdev = None
+        self.rh_poll_timer = None
         self.pci_glue = _PciGlue(self)
 
     def init(self):
@@ -65,15 +66,48 @@ class UhciNucleus:
         )
         if ret:
             legacy._state.uhci = None
+        else:
+            self.plumbing.record("probe")
         return ret
 
     def remove(self, pdev):
         if self.decaf is None:
             return
+        self.stop_rh_poll()
         self.plumbing.upcall(
             self.decaf.remove, args=[(legacy._state.uhci, uhci_hcd_state)]
         )
         self.decaf = None
+
+    # -- deferred root-hub status poll: timer -> work item -> decaf driver ---------
+    #
+    # Only runs under supervision: unsupervised rigs keep the seed
+    # crossing counts (the uhci data path never invokes the decaf half).
+
+    def supervision_started(self):
+        if legacy._state.uhci is not None and self.rh_poll_timer is None:
+            self.start_rh_poll()
+
+    def start_rh_poll(self):
+        self.rh_poll_timer = self.plumbing.nuclear.defer_timer(
+            self._rh_poll_work, name="uhci-rh-poll"
+        )
+        self.rh_poll_timer.mod_timer_after(256_000_000)
+
+    def stop_rh_poll(self):
+        if self.rh_poll_timer is not None:
+            self.rh_poll_timer.del_timer()
+            self.rh_poll_timer = None
+
+    def _rh_poll_work(self, _data):
+        if self.decaf is None or legacy._state.uhci is None:
+            return
+        self.plumbing.upcall(
+            self.decaf.rh_status_check,
+            args=[(legacy._state.uhci, uhci_hcd_state)],
+        )
+        if self.rh_poll_timer is not None:
+            self.rh_poll_timer.mod_timer_after(256_000_000)
 
     # -- kernel entry points ------------------------------------------------------
 
@@ -116,10 +150,54 @@ class UhciNucleus:
         return 0
 
     def k_stop(self, uhci):
+        self.stop_rh_poll()
         for device in list(legacy._state.port_devices):
             self.linux.usb_disconnect_device(device)
         legacy._state.port_devices = []
         legacy.uhci_stop(legacy._state.uhci)
+        return 0
+
+    def k_port_status(self, port):
+        uhci = legacy._state.uhci
+        if uhci is None:
+            return -self.linux.ENODEV
+        return legacy.uhci_readw(uhci, legacy.PORTSC1 + port * 2)
+
+    def k_schedule_running(self):
+        uhci = legacy._state.uhci
+        if uhci is None:
+            return 0
+        return 0 if uhci.is_stopped else 1
+
+    # -- supervised recovery ------------------------------------------------------
+
+    def fault_quiesce(self):
+        """Kernel-side quiesce after a user-half failure (no upcalls).
+
+        Only the root-hub poll is stopped.  The schedule, the irq and
+        the attached devices stay up: uhci-hcd's data path is entirely
+        kernel-resident, so a user-half crash must not disconnect the
+        flash disk mid-transfer (that asymmetry is the point of the
+        4%-converted split).
+        """
+        self.stop_rh_poll()
+        return 0
+
+    def rebuild_user_half(self):
+        self.decaf = UhciDecafDriver(self.plumbing.decaf_rt, self)
+
+    def replay_op(self, op, args):
+        if op == "probe":
+            # The controller is still running; replay maps the probe to
+            # a light reattach that verifies it rather than re-running
+            # bring-up against live hardware.
+            ret = self.plumbing.upcall(
+                self.decaf.reattach,
+                args=[(legacy._state.uhci, uhci_hcd_state)],
+            )
+            if ret == 0:
+                self.start_rh_poll()
+            return ret
         return 0
 
 

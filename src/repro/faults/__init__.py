@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the driver pairs.
+
+A :class:`FaultPlan` is a declarative list of :class:`FaultSpec`
+entries; a :class:`FaultInjector` arms one plan against one rig.  The
+same plan applies to a legacy and a decaf rig alike -- that uniformity
+is the point: the experiment is *what happens after the fault*, and it
+must be the fault that is held constant.
+
+Kinds:
+
+* ``alloc_fail`` -- fail the Nth matching memory allocation
+  (``kernel.memory`` choke point; ``owner=`` filters by allocation
+  owner, so "the driver's Nth allocation" is deterministic).
+* ``xpc_raise`` -- raise :class:`InjectedFault` (unchecked) at the Nth
+  matching kernel->user crossing (``callsite=`` substring filter).
+  Models a latent bug in the user-level half; inert on legacy rigs,
+  which have no boundary to fault.
+* ``reg_wedge`` -- wedge a device register: reads return a forced value
+  (default all-ones, the classic dead-device signature), writes are
+  dropped.  Surfaces as checked timeouts in both driver flavors.
+* ``payload_corrupt`` -- mangle the Nth marshaled payload in flight;
+  the decode error is a boundary fault.  Decaf rigs only.
+"""
+
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
+from .injector import FaultInjector
+
+__all__ = [
+    "FAULT_KINDS", "FaultInjector", "FaultPlan", "FaultSpec",
+    "InjectedFault",
+]

@@ -1,0 +1,74 @@
+"""Declarative fault plans."""
+
+
+class InjectedFault(Exception):
+    """An injected *unchecked* exception -- a simulated latent bug.
+
+    Deliberately not a DriverException: the failure boundary must treat
+    it as a driver failure, not as protocol.
+    """
+
+
+FAULT_KINDS = ("alloc_fail", "xpc_raise", "reg_wedge", "payload_corrupt")
+
+
+class FaultSpec:
+    """One fault: what to break, and at which deterministic occurrence.
+
+    ``at`` is 1-based: the fault fires at the Nth event matching the
+    spec's filters and never again, so a retried operation succeeds --
+    the transient-fault model recovery is designed for.
+    """
+
+    def __init__(self, kind, at=1, callsite=None, owner=None,
+                 addr=None, value=0xFFFFFFFF, message=None):
+        if kind not in FAULT_KINDS:
+            raise ValueError("unknown fault kind %r (one of %s)"
+                             % (kind, ", ".join(FAULT_KINDS)))
+        if kind == "reg_wedge" and addr is None:
+            raise ValueError("reg_wedge needs addr=")
+        if at < 1:
+            raise ValueError("at= is 1-based")
+        self.kind = kind
+        self.at = at
+        self.callsite = callsite  # substring filter on crossing callsite
+        self.owner = owner        # substring filter on allocation owner
+        self.addr = addr          # wedged register address
+        self.value = value        # value a wedged register reads back
+        self.message = message or self.describe()
+        self.seen = 0             # matching events observed
+        self.fired = 0            # times the fault actually struck
+
+    def describe(self):
+        where = self.callsite or self.owner or (
+            "0x%x" % self.addr if self.addr is not None else "any")
+        return "%s@%s#%d" % (self.kind, where, self.at)
+
+    def hit(self):
+        """Count one matching event; True when this is the firing one."""
+        self.seen += 1
+        if self.seen == self.at:
+            self.fired += 1
+            return True
+        return False
+
+
+class FaultPlan:
+    """A named, ordered collection of fault specs."""
+
+    def __init__(self, specs, name="fault-plan"):
+        self.specs = list(specs)
+        self.name = name
+
+    @property
+    def fired(self):
+        return sum(spec.fired for spec in self.specs)
+
+    def by_kind(self, *kinds):
+        return [spec for spec in self.specs if spec.kind in kinds]
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self):
+        return len(self.specs)

@@ -68,6 +68,11 @@ class Kernel:
         self.input = None
 
         self._advancing = 0
+        # Process-context events that came due while the CPU was atomic
+        # (a nested clock advance inside an irq handler or under a
+        # spinlock); parked here until the CPU is back in process
+        # context, like work preempted by an interrupt.
+        self._parked_process_events = deque()
 
     # -- logging (printk) ----------------------------------------------------
 
@@ -118,8 +123,16 @@ class Kernel:
         clock = self.clock
         pop_due = self.events.pop_due
         dispatch = self._dispatch_event
+        parked = self._parked_process_events
+        in_atomic = self.context.in_atomic
         try:
             while True:
+                # Work parked by an atomic-context advance runs as soon
+                # as any advance finds the CPU schedulable again, before
+                # later-timed events (it was due first).
+                if parked and not in_atomic():
+                    dispatch(parked.popleft())
+                    continue
                 ev = pop_due(target_ns)
                 if ev is None:
                     break
@@ -156,6 +169,13 @@ class Kernel:
             finally:
                 self.context.exit_softirq()
         else:
+            if ev.needs_sched and self.context.in_atomic():
+                # A work item came due inside a nested advance while
+                # the CPU is in interrupt context or holds a spinlock.
+                # Running it here would let sleeping work execute
+                # atomically; park it until the CPU is schedulable.
+                self._parked_process_events.append(ev)
+                return
             ev.callback()
 
     # -- cost charging ------------------------------------------------------------

@@ -20,9 +20,10 @@ class Event:
     """A scheduled callback; cancellable, single-shot."""
 
     __slots__ = ("time_ns", "seq", "callback", "context", "name", "cancelled",
-                 "wheel")
+                 "wheel", "needs_sched")
 
-    def __init__(self, time_ns, seq, callback, context, name):
+    def __init__(self, time_ns, seq, callback, context, name,
+                 needs_sched=False):
         self.time_ns = time_ns
         self.seq = seq
         self.callback = callback
@@ -30,6 +31,12 @@ class Event:
         self.name = name
         self.cancelled = False
         self.wheel = None
+        # True for scheduler-dispatched process work (workqueue items):
+        # the callback must wait until the CPU leaves atomic context.
+        # Plain process-context events (device completions, wire
+        # deliveries, workload pacing) are environmental and fire on
+        # time regardless of what the CPU is doing.
+        self.needs_sched = needs_sched
 
     def cancel(self):
         self.cancelled = True
@@ -162,13 +169,15 @@ class EventQueue:
         heapq.heappush(self._heap, ev)
         return ev
 
-    def schedule_after(self, delay_ns, callback, context=PROCESS, name="event"):
+    def schedule_after(self, delay_ns, callback, context=PROCESS, name="event",
+                       needs_sched=False):
         # Inlined _make_event: this is the per-packet scheduling path.
         if context not in _VALID_CONTEXTS:
             raise SimulationError("unknown event context %r" % (context,))
         now = self._clock.now_ns
         ev = Event(now + delay_ns if delay_ns > 0 else now,
-                   next(self._seq), callback, context, name)
+                   next(self._seq), callback, context, name,
+                   needs_sched=needs_sched)
         heapq.heappush(self._heap, ev)
         return ev
 

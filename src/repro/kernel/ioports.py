@@ -40,6 +40,18 @@ class IoSpace:
         self._regions = []
         self.port_accesses = 0
         self.mmio_accesses = 0
+        # Fault injection: addr -> forced read value.  A wedged register
+        # reads that value and drops writes -- the signature of a hung
+        # device (all-ones is what a dead PCI function returns).
+        self._wedged = {}
+
+    # -- fault injection (repro.faults) --------------------------------------
+
+    def wedge(self, addr, value=0xFFFFFFFF):
+        self._wedged[addr] = value
+
+    def unwedge(self, addr):
+        self._wedged.pop(addr, None)
 
     # -- region management (device/bus side) --------------------------------
 
@@ -81,6 +93,10 @@ class IoSpace:
     def read(self, addr, size, is_mmio):
         region = self._find(addr, size, is_mmio)
         self._charge(is_mmio)
+        if self._wedged:
+            forced = self._wedged.get(addr)
+            if forced is not None:
+                return forced & ((1 << (8 * size)) - 1)
         value = region.handler.read(addr - region.base, size)
         mask = (1 << (8 * size)) - 1
         return value & mask
@@ -88,6 +104,8 @@ class IoSpace:
     def write(self, addr, value, size, is_mmio):
         region = self._find(addr, size, is_mmio)
         self._charge(is_mmio)
+        if self._wedged and addr in self._wedged:
+            return
         mask = (1 << (8 * size)) - 1
         region.handler.write(addr - region.base, value & mask, size)
 

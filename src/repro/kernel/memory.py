@@ -59,7 +59,28 @@ class MemoryManager:
         self._dma_regions = {}
         self._dma_hit = None  # last region resolved by dma_find
         self.alloc_count = 0
+        self.alloc_seq = 0  # every attempt, success or not, across both paths
         self.fail_next = 0  # fault injection: fail the next N allocations
+        # Declarative fault injection (repro.faults): called with
+        # (seq, size, owner) on every attempt; truthy return fails it.
+        self.fault_hook = None
+
+    def _should_fail(self, size, owner):
+        """Single choke point for injected allocation failures.
+
+        Both ``kmalloc`` and ``dma_alloc_coherent`` route through here,
+        so one ``fail_next`` decrement covers exactly one attempt no
+        matter which path it lands on, and ``alloc_seq`` gives fault
+        plans a stable "Nth allocation" to aim at.
+        """
+        self.alloc_seq += 1
+        hook = self.fault_hook
+        if hook is not None and hook(self.alloc_seq, size, owner):
+            return True
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            return True
+        return False
 
     @property
     def used_bytes(self):
@@ -71,8 +92,7 @@ class MemoryManager:
             self._kernel.context.might_sleep("kmalloc(GFP_KERNEL)")
         elif flags != GFP_ATOMIC:
             raise SimulationError("unknown gfp flags %r" % (flags,))
-        if self.fail_next > 0:
-            self.fail_next -= 1
+        if self._should_fail(size, owner):
             return None
         if self._used + size > self._total:
             return None
@@ -99,8 +119,7 @@ class MemoryManager:
     def dma_alloc_coherent(self, size, owner="kernel"):
         """Allocate DMA memory usable by device models; may sleep."""
         self._kernel.context.might_sleep("dma_alloc_coherent")
-        if self.fail_next > 0:
-            self.fail_next -= 1
+        if self._should_fail(size, owner):
             return None
         self._kernel.cpu.charge(self._kernel.costs.kmalloc_ns * 4, "mm")
         dma_addr = self._next_dma

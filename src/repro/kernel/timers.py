@@ -114,7 +114,8 @@ class Workqueue:
         if item.pending:
             return False
         item._event = self._kernel.events.schedule_after(
-            delay_ns, item._run, context=PROCESS, name="work:%s" % item.name
+            delay_ns, item._run, context=PROCESS, name="work:%s" % item.name,
+            needs_sched=True,
         )
         item._queue = self
         self._pending.add(item)

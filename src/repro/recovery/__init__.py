@@ -1,0 +1,16 @@
+"""Supervised driver recovery (shadow-driver style).
+
+The paper's reliability argument is that a user-level driver half can
+crash without taking the kernel with it.  This package supplies the
+other half of that story: a supervisor that notices a contained fault
+(:class:`~repro.core.xpc.DriverFailedError` territory), unloads the
+dead user-level half, starts a fresh one, and replays the recorded
+configuration calls so the device comes back in the state applications
+last requested -- the shadow-driver recovery model (Swift et al.)
+adapted to Decaf's kernel-nucleus/user-library split.
+"""
+
+from .log import ReplayLog
+from .supervisor import DriverSupervisor, RecoveryError
+
+__all__ = ["DriverSupervisor", "RecoveryError", "ReplayLog"]

@@ -1,0 +1,39 @@
+"""The replay log: configuration calls a nucleus records for recovery.
+
+Only *configuration* is logged (probe, open, MAC address, MTU, mixer
+and PCM settings ...), never datapath traffic -- replaying the log must
+restore the driver to the state applications believe it is in, not
+reproduce history.  Entries are latest-wins per operation: a second
+``set_mac`` replaces the first, exactly as replaying both would.
+"""
+
+
+class ReplayLog:
+    def __init__(self):
+        self._entries = []  # [op, args] pairs, oldest first
+
+    def record(self, op, *args):
+        """Record ``op``; an existing entry for it is updated in place
+        (latest-wins), keeping the original replay position."""
+        for entry in self._entries:
+            if entry[0] == op:
+                entry[1] = args
+                return
+        self._entries.append([op, args])
+
+    def remove(self, op):
+        """Forget ``op`` (e.g. ``open`` once the device is closed)."""
+        self._entries = [e for e in self._entries if e[0] != op]
+
+    def entries(self):
+        """Snapshot of (op, args) pairs in replay order."""
+        return [(op, args) for op, args in self._entries]
+
+    def clear(self):
+        self._entries = []
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, op):
+        return any(e[0] == op for e in self._entries)

@@ -61,6 +61,15 @@ TRACEPOINTS = {
     "xpc.lang": ("X", "C<->Java language crossing (marshaled)"),
     "xpc.direct": ("X", "scalar-only direct cross-language call"),
     "xpc.defer": ("i", "one-way notification enqueued (no crossing)"),
+    # Failure boundary / fault injection / recovery
+    "xpc.fault": ("i", "unchecked exception contained at the boundary"),
+    "xpc.deferred_error": ("i", "deferred notification handler raised"),
+    "fault.inject": ("i", "an armed fault spec fired"),
+    "recovery.fault": ("i", "supervisor notified of a driver fault"),
+    "recovery.restart": ("X", "quiesce + restart + replay span"),
+    "recovery.replay": ("i", "one replay-log operation re-executed"),
+    "recovery.complete": ("i", "driver healthy again after restart"),
+    "recovery.giveup": ("i", "supervisor stopped recovering this driver"),
     # Logging
     "printk": ("i", "kernel log line"),
 }

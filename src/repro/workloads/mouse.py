@@ -25,6 +25,7 @@ def move_and_click(rig, duration_s=30.0, trace=None):
     )
 
     x0 = rig.crossings()
+    f0 = rig.fault_stats()
     kernel.cpu.start_window()
     start_ns = kernel.clock.now_ns
     sample_interval_ns = int(1e9 / max(1, mouse.sample_rate))
@@ -32,16 +33,23 @@ def move_and_click(rig, duration_s=30.0, trace=None):
     t = 0
     packets = 0
     clicks = 0
+    lost = 0
     while t < duration_s * 1e9:
         buttons = 1 if (t // 1_000_000_000) % 2 == 0 else 0
         if buttons and clicks * 1_000_000_000 <= t:
             clicks += 1
         if mouse.move(3, -1, buttons=buttons):
             packets += 1
+        elif rig.supervisor is not None:
+            # The device drops samples while reporting is off -- i.e.
+            # during a supervised restart, until the replayed connect
+            # re-enables it.
+            lost += 1
         kernel.run_for_ns(sample_interval_ns)
         t += sample_interval_ns
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    f1 = rig.fault_stats()
     ds = rig.deferred_stats()
     result = WorkloadResult(
         name="move-and-click",
@@ -55,6 +63,9 @@ def move_and_click(rig, duration_s=30.0, trace=None):
         deferred_coalesced=ds["coalesced"],
         deferred_flushes=ds["flushes"],
         decaf_invocations=rig.crossings() - x0,
+        faults_injected=f1[0] - f0[0],
+        recoveries=f1[1] - f0[1],
+        packets_lost=lost + (f1[2] - f0[2]),
         extra={"input_events": events["count"], "clicks": clicks},
     )
     finish_trace(session, result)

@@ -30,6 +30,7 @@ def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4,
     substream = cards[0].pcms[0].playback
 
     x0 = rig.crossings()
+    f0 = rig.fault_stats()
     kernel.cpu.start_window()
     start_ns = kernel.clock.now_ns
 
@@ -52,6 +53,7 @@ def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4,
     total_bytes = int(duration_s * bytes_per_second)
     chunk = period_bytes
     written = 0
+    dropped = 0
     while written < total_bytes:
         n = min(chunk, total_bytes - written)
         # MP3 decode cost for this chunk.
@@ -61,6 +63,14 @@ def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4,
         )
         accepted = sound.pcm_write(substream, n)
         if accepted <= 0:
+            if rig.recovery_pending():
+                # Supervised restart in progress: the chunk is dropped
+                # audio, not end-of-stream.  Let the recovery work item
+                # run and carry on with the next chunk.
+                dropped += 1
+                written += n
+                kernel.run_for_ms(1)
+                continue
             break
         written += accepted
 
@@ -68,6 +78,7 @@ def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4,
     sound.pcm_close(substream)
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    f1 = rig.fault_stats()
     ds = rig.deferred_stats()
     result = WorkloadResult(
         name="mpg123",
@@ -82,6 +93,9 @@ def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4,
         deferred_coalesced=ds["coalesced"],
         deferred_flushes=ds["flushes"],
         decaf_invocations=rig.crossings() - x0,
+        faults_injected=f1[0] - f0[0],
+        recoveries=f1[1] - f0[1],
+        packets_lost=dropped + (f1[2] - f0[2]),
         extra={
             "periods_elapsed": substream.runtime.periods_elapsed,
             "device_interrupts": getattr(rig.device, "period_interrupts", 0),

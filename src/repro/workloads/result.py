@@ -27,6 +27,11 @@ class WorkloadResult:
     napi_budget_exhaustions: int = 0
     napi_pkts_per_poll: dict = field(default_factory=dict)
     skb_pool_hit_rate: float = 0.0
+    # Fault isolation / supervised recovery (zero when no faults were
+    # injected or no supervisor was attached).
+    faults_injected: int = 0
+    recoveries: int = 0
+    packets_lost: int = 0
     # ktrace summary (Tracer.summary()) when the workload ran traced.
     trace_summary: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
@@ -62,6 +67,9 @@ class WorkloadResult:
             "napi_budget_exhaustions": self.napi_budget_exhaustions,
             "napi_pkts_per_poll": self._pkts_per_poll_compact(),
             "skb_pool_hit_rate": round(self.skb_pool_hit_rate, 4),
+            "faults_injected": self.faults_injected,
+            "recoveries": self.recoveries,
+            "packets_lost": self.packets_lost,
         }
         # Scalar extras ride along (non-scalars, e.g. a whole Rig kept
         # for inspection, stay out of the printable row).

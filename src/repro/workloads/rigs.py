@@ -30,6 +30,8 @@ class Rig:
         self.link = link
         self.extra = extra or {}
         self.init_latency_ns = None
+        self.supervisor = None
+        self.injector = None
 
     def insmod(self):
         ret = self.kernel.modules.insmod(self.module)
@@ -65,6 +67,47 @@ class Rig:
 
     def netdev(self):
         return self.kernel.net.find("eth0")
+
+    # -- fault isolation / supervised recovery (decaf rigs) -------------------
+
+    @property
+    def channel(self):
+        if not self.decaf:
+            return None
+        return self.module.instance.plumbing.channel
+
+    def supervise(self, max_recoveries=3):
+        """Attach a DriverSupervisor to the loaded decaf driver."""
+        if not self.decaf:
+            raise RuntimeError("%s: only decaf rigs can be supervised"
+                               % self.name)
+        from ..recovery import DriverSupervisor
+
+        self.supervisor = DriverSupervisor(
+            self.kernel, self.module.instance,
+            max_recoveries=max_recoveries,
+        )
+        return self.supervisor
+
+    def inject_faults(self, plan):
+        """Arm a FaultPlan against this rig; returns the injector."""
+        from ..faults import FaultInjector
+
+        self.injector = FaultInjector(self, plan)
+        self.injector.arm()
+        return self.injector
+
+    def recovery_pending(self):
+        sup = self.supervisor
+        return bool(sup is not None and sup.recovery_pending())
+
+    def fault_stats(self):
+        """(faults fired, recoveries completed, kernel-side work lost)."""
+        fired = self.injector.plan.fired if self.injector else 0
+        sup = self.supervisor
+        return (fired,
+                sup.recoveries if sup else 0,
+                sup.work_lost if sup else 0)
 
 
 def make_8139too_rig(decaf=False, irq_mode="napi"):

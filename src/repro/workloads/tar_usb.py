@@ -28,12 +28,14 @@ def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024,
     pipe = usb_sndbulkpipe(disk_dev, 2)
 
     x0 = rig.crossings()
+    f0 = rig.fault_stats()
     kernel.cpu.start_window()
     start_ns = kernel.clock.now_ns
 
     lba = 0
     written = 0
     nfiles = 0
+    retried = 0
     while written < archive_bytes:
         this_file = min(file_size, archive_bytes - written)
         kernel.consume(TAR_HEADER_CPU_NS, busy=True, category="tar")
@@ -49,6 +51,13 @@ def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024,
             status, _n = kernel.usb.usb_bulk_msg(disk_dev, pipe, cmd,
                                                  timeout_ms=30_000)
             if status != 0:
+                if rig.recovery_pending():
+                    # Supervised restart in progress: re-queue this
+                    # chunk once the driver is back instead of failing
+                    # the whole archive.
+                    retried += 1
+                    kernel.run_for_ms(1)
+                    continue
                 raise RuntimeError("bulk write failed: %d" % status)
             offset += chunk_blocks * BLOCK_SIZE
         lba += blocks
@@ -56,6 +65,7 @@ def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024,
         nfiles += 1
 
     elapsed_s = (kernel.clock.now_ns - start_ns) / 1e9
+    f1 = rig.fault_stats()
     ds = rig.deferred_stats()
     result = WorkloadResult(
         name="tar",
@@ -71,6 +81,9 @@ def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024,
         deferred_coalesced=ds["coalesced"],
         deferred_flushes=ds["flushes"],
         decaf_invocations=rig.crossings() - x0,
+        faults_injected=f1[0] - f0[0],
+        recoveries=f1[1] - f0[1],
+        packets_lost=retried + (f1[2] - f0[2]),
         extra={"files": nfiles,
                "disk_blocks_written": rig.extra["disk"].writes},
     )

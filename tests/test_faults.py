@@ -3,10 +3,16 @@
 The paper's motivation is that error paths are where driver bugs live;
 these tests force allocation and hardware failures during
 initialization and check both driver generations clean up.
+
+Allocation faults are injected declaratively through the
+:mod:`repro.faults` harness (``FaultPlan`` / ``Rig.inject_faults``),
+which works identically against legacy and decaf rigs -- no
+monkeypatching of driver internals.
 """
 
 import pytest
 
+from repro.faults import FaultPlan, FaultSpec
 from repro.workloads import make_8139too_rig, make_e1000_rig
 
 
@@ -16,10 +22,14 @@ class TestAllocFailuresNative:
         rig.insmod()
         dev = rig.netdev()
         used_before = rig.kernel.memory.used_bytes
-        rig.kernel.memory.fail_next = 1
+        # First 8139too-owned allocation after arming = the rx ring.
+        rig.inject_faults(FaultPlan([
+            FaultSpec("alloc_fail", at=1, owner="8139too"),
+        ]))
         assert rig.kernel.net.dev_open(dev) != 0
+        assert rig.injector.plan.fired == 1
         assert rig.kernel.memory.used_bytes == used_before  # no leak
-        # Recovers on retry.
+        # Recovers on retry (the spec fires exactly once).
         assert rig.kernel.net.dev_open(dev) == 0
 
     def test_e1000_open_unwinds_on_rx_alloc_failure(self):
@@ -27,27 +37,13 @@ class TestAllocFailuresNative:
         rig.insmod()
         dev = rig.netdev()
         used_before = rig.kernel.memory.used_bytes
-        # First alloc (tx desc) succeeds; third (rx desc) fails.
-        rig.kernel.memory.fail_next = 0
-        adapter = dev.priv
-
-        from repro.drivers.legacy import e1000_main
-
-        # Fail the rx descriptor allocation specifically.
-        orig = e1000_main.e1000_setup_rx_resources
-
-        def failing(adapter_, rx_ring):
-            rig.kernel.memory.fail_next = 1
-            try:
-                return orig(adapter_, rx_ring)
-            finally:
-                rig.kernel.memory.fail_next = 0
-
-        e1000_main.e1000_setup_rx_resources = failing
-        try:
-            assert rig.kernel.net.dev_open(dev) != 0
-        finally:
-            e1000_main.e1000_setup_rx_resources = orig
+        # Open allocates tx desc (1), tx buffers (2), rx desc (3):
+        # fail the rx descriptor allocation specifically.
+        rig.inject_faults(FaultPlan([
+            FaultSpec("alloc_fail", at=3, owner="e1000"),
+        ]))
+        assert rig.kernel.net.dev_open(dev) != 0
+        assert rig.injector.plan.fired == 1
         assert rig.kernel.memory.used_bytes == used_before
         assert rig.kernel.net.dev_open(dev) == 0
 
@@ -60,24 +56,29 @@ class TestAllocFailuresDecaf:
         rig.insmod()
         dev = rig.netdev()
         used_before = rig.kernel.memory.used_bytes
-        nucleus = rig.module.instance
-
-        orig = nucleus.k_setup_rx_resources
-
-        def failing(adapter):
-            rig.kernel.memory.fail_next = 1
-            try:
-                return orig(adapter)
-            finally:
-                rig.kernel.memory.fail_next = 0
-
-        nucleus.k_setup_rx_resources = failing
-        try:
-            ret = rig.kernel.net.dev_open(dev)
-        finally:
-            nucleus.k_setup_rx_resources = orig
+        rig.inject_faults(FaultPlan([
+            FaultSpec("alloc_fail", at=3, owner="e1000"),
+        ]))
+        ret = rig.kernel.net.dev_open(dev)
         assert ret < 0  # exception crossed back as errno
+        assert rig.injector.plan.fired == 1
         assert rig.kernel.memory.used_bytes == used_before
+        # A checked DriverException is an error return, not a driver
+        # failure: the boundary must not have tripped.
+        assert not rig.channel.failed
+        assert rig.kernel.net.dev_open(dev) == 0
+
+    def test_decaf_rtl8139_open_unwinds_on_ring_alloc_failure(self):
+        rig = make_8139too_rig(decaf=True)
+        rig.insmod()
+        dev = rig.netdev()
+        used_before = rig.kernel.memory.used_bytes
+        rig.inject_faults(FaultPlan([
+            FaultSpec("alloc_fail", at=1, owner="8139too"),
+        ]))
+        assert rig.kernel.net.dev_open(dev) != 0
+        assert rig.kernel.memory.used_bytes == used_before
+        assert not rig.channel.failed
         assert rig.kernel.net.dev_open(dev) == 0
 
     def test_decaf_probe_failure_leaves_no_netdev(self):

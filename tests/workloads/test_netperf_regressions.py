@@ -20,6 +20,7 @@ class _FakeRig:
         self.kernel = kernel
         self.dev = dev
         self.init_latency_ns = 0
+        self.supervisor = None
 
     def netdev(self):
         return self.dev
@@ -32,6 +33,13 @@ class _FakeRig:
 
     def deferred_stats(self):
         return {"calls": 0, "coalesced": 0, "flushes": 0}
+
+    def fault_stats(self):
+        return (0, 0, 0)
+
+    def recovery_pending(self):
+        sup = self.supervisor
+        return bool(sup is not None and sup.recovery_pending())
 
 
 def _make_rig(xmit):
