@@ -1,0 +1,45 @@
+"""Model-based differential testing of the legacy/decaf driver pairs.
+
+The paper's migration argument rests on the decaf driver being a
+behaviour-preserving rewrite.  The handwritten equivalence tests pin a
+handful of scenarios; this package generates *families* of them:
+
+* :class:`ScenarioGenerator` expands a seed into a deterministic
+  virtual-time event schedule for one driver -- traffic bursts,
+  interrupt storms, configuration calls, interface flaps, and (in
+  ``faulty`` mode) an injected-fault/recovery cycle built on
+  :mod:`repro.faults`.
+* :class:`DifferentialRunner` replays the *identical* schedule against
+  the legacy and decaf variants and compares what is observable from
+  outside the driver: register-access traces, payload digests on both
+  directions, delivered input events, device state, dmesg-visible
+  errors, and (bounded) crossing/packet counters.  Lockdep
+  (:class:`repro.kernel.locks.LockDep`) is enabled for every run.
+* On divergence, :func:`repro.conformance.minimize.minimize_scenario`
+  shrinks the event schedule ddmin-style and a standalone repro script
+  is emitted.
+
+``python -m repro.conformance --seeds N`` runs the sweep; the suite
+digest it prints is byte-stable for a given seed set, which is what the
+determinism harness asserts.
+"""
+
+from .scenario import DRIVERS, Scenario, ScenarioGenerator
+from .observe import Observation, canonical_json, digest_of
+from .runner import DifferentialRunner, Divergence, PairResult, nobble_drop_tx
+from .minimize import minimize_scenario, write_repro_script
+
+__all__ = [
+    "DRIVERS",
+    "DifferentialRunner",
+    "Divergence",
+    "Observation",
+    "PairResult",
+    "Scenario",
+    "ScenarioGenerator",
+    "canonical_json",
+    "digest_of",
+    "minimize_scenario",
+    "nobble_drop_tx",
+    "write_repro_script",
+]

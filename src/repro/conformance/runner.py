@@ -1,0 +1,599 @@
+"""Replay one scenario against both driver variants and compare.
+
+The runner is the only component that knows how to *drive* a rig; the
+scenario is pure data.  One :meth:`DifferentialRunner.run_one` builds a
+fresh rig (legacy or decaf), enables lockdep, replays the schedule at
+its virtual-time offsets, and collects an :class:`Observation`.
+:meth:`DifferentialRunner.run_pair` does that for both variants and
+compares:
+
+* **strict** mode (no faults): payloads, input events, device state,
+  operation return codes, dmesg error surface, and the register-access
+  trace must be *equal*; packet counters equal; XPC crossings zero on
+  legacy and linearly bounded on decaf.
+* **faulty** mode (faults armed on the decaf rig only, supervisor
+  attached): the decaf run may lose payloads while recovering but must
+  never reorder, duplicate, or corrupt them (subsequence check), the
+  loss is bounded, recovery must complete, and the channel must be
+  healthy at the end.
+
+Any violated check becomes a :class:`Divergence`; lockdep reports are a
+divergence in *either* variant, in every mode.
+"""
+
+import struct
+
+from ..faults import FaultPlan, FaultSpec
+from ..kernel import NETDEV_TX_BUSY, NETDEV_TX_OK, SkBuff
+from ..kernel.sound import SNDRV_PCM_TRIGGER_START, SNDRV_PCM_TRIGGER_STOP
+from ..kernel.usb import usb_sndbulkpipe
+from ..kernel.vtime import NSEC_PER_MSEC
+from ..workloads import (
+    make_8139too_rig,
+    make_e1000_rig,
+    make_ens1371_rig,
+    make_psmouse_rig,
+    make_uhci_rig,
+)
+from .observe import (
+    Observation,
+    frame_digest,
+    is_subsequence,
+    normalize_dmesg,
+)
+from .scenario import FAMILY
+
+MAKERS = {
+    "e1000": make_e1000_rig,
+    "8139too": make_8139too_rig,
+    "ens1371": make_ens1371_rig,
+    "psmouse": make_psmouse_rig,
+    "uhci_hcd": make_uhci_rig,
+}
+
+#: How register-access traces are compared between variants in strict
+#: mode.  ``"full"``: access-for-access equality (reads and writes, in
+#: order).  ``"footprint"``: per-register *write* sequences -- the NIC
+#: drivers run their management path behind deferred work on the decaf
+#: side, so the interleaving of independent register programs shifts
+#: legitimately while each register must still see the same values in
+#: the same order.
+REG_TRACE_MODE = {"net": "footprint", "sound": "footprint",
+                  "input": "full", "usb": "full"}
+
+
+#: Interrupt mask/ack registers, per region name.  Their write *counts*
+#: track NAPI poll and interrupt boundaries, which shift legitimately
+#: with the virtual-time cost of XPC crossings; for these the footprint
+#: keeps the set of distinct values written instead of the sequence.
+TIMING_REGS = {
+    "e1000": frozenset((0x000C0, 0x000D0, 0x000D8)),   # ICR, IMS, IMC
+    "8139too": frozenset((0x3C, 0x3E)),                # IMR, ISR
+    # MEM_PAGE is rewritten once per period-interrupt service and
+    # SERIAL's P2_INTR_EN bit is toggled to ack each one, so their
+    # write counts track the (bounded, phase-coupled) irq count.
+    "ens1371": frozenset((0x0C, 0x20)),                # MEM_PAGE, SERIAL
+}
+
+#: Ring tail pointers: the *positions* written depend on how rx/tx work
+#: batches across poll boundaries, which shifts with crossing costs.
+#: The footprint keeps only the final value (where the ring ended up).
+RING_TAIL_REGS = {
+    "e1000": frozenset((0x02818, 0x03818)),            # RDT, TDT
+}
+
+
+def write_footprint(trace):
+    """Per-register sequence of written values: {region: {offset: [v]}}.
+
+    Timing-coupled mask/ack registers (:data:`TIMING_REGS`) are reduced
+    to their sorted distinct-value set.
+    """
+    footprint = {}
+    for op, region, offset, _size, value in trace:
+        if op != "w":
+            continue
+        footprint.setdefault(region, {}).setdefault(offset, []).append(value)
+    for region, regs in footprint.items():
+        for offset in TIMING_REGS.get(region, ()):
+            if offset in regs:
+                regs[offset] = sorted(set(regs[offset]))
+        for offset in RING_TAIL_REGS.get(region, ()):
+            if offset in regs:
+                regs[offset] = regs[offset][-1:]
+    return footprint
+
+
+class Divergence:
+    """One failed conformance check."""
+
+    __slots__ = ("channel", "detail")
+
+    def __init__(self, channel, detail):
+        self.channel = channel
+        self.detail = detail
+
+    def to_json(self):
+        return {"channel": self.channel, "detail": self.detail}
+
+    def __repr__(self):
+        return "<divergence %s: %s>" % (self.channel, self.detail)
+
+
+class PairResult:
+    """Outcome of one legacy/decaf comparison."""
+
+    __slots__ = ("scenario", "legacy", "decaf", "divergences")
+
+    def __init__(self, scenario, legacy, decaf, divergences):
+        self.scenario = scenario
+        self.legacy = legacy
+        self.decaf = decaf
+        self.divergences = divergences
+
+    @property
+    def ok(self):
+        return not self.divergences
+
+    def digest(self):
+        """Digest over both observations: the determinism fingerprint."""
+        from .observe import digest_of
+
+        return digest_of({"legacy": self.legacy.to_json(),
+                          "decaf": self.decaf.to_json()})
+
+
+def nobble_drop_tx(rig):
+    """The canonical canary: sabotage a decaf NIC rig to silently drop
+    every third transmitted frame.  A correct conformance harness must
+    flag the resulting tx divergence."""
+    dev = rig.netdev()
+    real_xmit = dev.hard_start_xmit
+    state = {"n": 0}
+
+    def broken_xmit(skb, netdev):
+        state["n"] += 1
+        if state["n"] % 3 == 0:
+            return NETDEV_TX_OK  # claim success, eat the frame
+        return real_xmit(skb, netdev)
+
+    dev.hard_start_xmit = broken_xmit
+
+
+class DifferentialRunner:
+    def __init__(self, lockdep=True, nobble=None, settle_ms=40,
+                 max_recoveries=8):
+        self.lockdep = lockdep
+        self.nobble = nobble  # callable(rig), decaf rig only (canary)
+        self.settle_ms = settle_ms
+        self.max_recoveries = max_recoveries
+
+    # -- single run --------------------------------------------------------
+
+    def run_one(self, scenario, decaf):
+        rig = MAKERS[scenario.driver](decaf=decaf)
+        kernel = rig.kernel
+        if self.lockdep:
+            kernel.enable_lockdep()
+        obs = Observation()
+        family = scenario.family
+        setup = getattr(self, "_setup_%s" % family)
+        apply_event = getattr(self, "_apply_%s" % family)
+        state = setup(rig, obs)
+
+        if decaf and scenario.mode == "faulty" and scenario.faults:
+            rig.supervise(max_recoveries=self.max_recoveries)
+            rig.inject_faults(FaultPlan(
+                [FaultSpec(**spec) for spec in scenario.faults],
+                name="conformance-%s-%d" % (scenario.driver,
+                                            scenario.seed)))
+        if decaf and self.nobble is not None:
+            self.nobble(rig)
+
+        trace = obs["reg_trace"]
+        kernel.io.trace_tap = (
+            lambda op, region, off, size, value:
+            trace.append([op, region, off, size, value]))
+        base_ns = kernel.now_ns()
+        for index, event in enumerate(scenario.events):
+            target = base_ns + event["t"]
+            if target > kernel.now_ns():
+                kernel.run_until(target)
+            apply_event(rig, state, event, index, obs)
+        kernel.run_for_ms(self.settle_ms)
+        kernel.io.trace_tap = None
+
+        teardown = getattr(self, "_teardown_%s" % family)
+        teardown(rig, state, obs)
+        self._collect_common(rig, scenario, obs)
+        return obs
+
+    def _collect_common(self, rig, scenario, obs):
+        kernel = rig.kernel
+        obs["dmesg"] = normalize_dmesg(kernel.dmesg())
+        if kernel.lockdep is not None:
+            obs["lockdep"] = [[r.kind, r.message]
+                              for r in kernel.lockdep.reports]
+        counters = obs["counters"]
+        counters["crossings"] = rig.crossings()
+        counters["lang_crossings"] = rig.lang_crossings()
+        fired, recoveries, work_lost = rig.fault_stats()
+        counters["faults_fired"] = fired
+        counters["recoveries"] = recoveries
+        counters["work_lost"] = work_lost
+        sup = rig.supervisor
+        counters["gave_up"] = bool(sup is not None and sup.gave_up)
+        counters["recovery_pending"] = bool(rig.recovery_pending())
+        channel = rig.channel
+        counters["channel_failed"] = bool(channel is not None
+                                          and channel.failed)
+
+    # -- network -----------------------------------------------------------
+
+    def _setup_net(self, rig, obs):
+        rig.insmod()
+        dev = rig.netdev()
+        net = rig.kernel.net
+        ret = net.dev_open(dev)
+        if ret != 0:
+            raise RuntimeError("%s: dev_open failed with %d"
+                               % (rig.name, ret))
+        rig.kernel.run_for_ms(60)  # settle reset/link-up timers
+        tx, rx = obs["tx"], obs["rx"]
+        rig.link.peer_rx = lambda frame: tx.append(frame_digest(frame))
+        net.rx_sink = lambda _dev, skb: rx.append(frame_digest(skb.data))
+        return {"dev": dev}
+
+    def _pump_xmit(self, rig, dev, frame):
+        """Transmit one frame, advancing virtual time past queue-full."""
+        kernel = rig.kernel
+        for _attempt in range(10_000):
+            if not dev.netif_queue_stopped():
+                ret = kernel.net.dev_queue_xmit(dev, SkBuff(frame))
+                if ret == NETDEV_TX_OK:
+                    return 0
+                if ret != NETDEV_TX_BUSY:
+                    return ret
+            nxt = kernel.events.peek_time()
+            if nxt is None:
+                return -1  # queue wedged with nothing pending
+            kernel.run_until(nxt)
+        return -2
+
+    def _apply_net(self, rig, state, event, index, obs):
+        dev = state["dev"]
+        kernel = rig.kernel
+        kind = event["kind"]
+        ops = obs["ops"]
+        if kind == "tx_burst":
+            for frame in event["frames"]:
+                ret = self._pump_xmit(rig, dev, bytes.fromhex(frame))
+                if ret != 0:
+                    ops.append([index, "tx_burst", ret])
+        elif kind == "rx_burst":
+            for frame in event["frames"]:
+                rig.link.inject(bytes.fromhex(frame))
+            # Drain: when the replay schedule has slipped (slow config
+            # ops overrun the event spacing), the next event can reset
+            # the device microseconds after injection and wipe frames
+            # still sitting unharvested in the rx ring -- a shutdown
+            # race, not a driver difference.  A short run lets NAPI
+            # harvest deterministically in both variants.
+            kernel.run_for_ms(2)
+        elif kind == "irq_storm":
+            frame = bytes.fromhex(event["frame"])
+            for _ in range(event["count"]):
+                rig.link.inject(frame)
+            kernel.run_for_ms(2)
+        elif kind == "config_mac":
+            # A missing op is an observation, not a crash: if only one
+            # variant wires it, the ops channel diverges -- which is a
+            # real conformance finding.
+            if dev.set_mac_address is None:
+                ops.append([index, "config_mac", "unsupported"])
+            else:
+                addr = bytes.fromhex(event["addr"])
+                ops.append([index, "config_mac",
+                            dev.set_mac_address(dev, addr)])
+        elif kind == "config_mtu":
+            if dev.change_mtu is None:
+                ops.append([index, "config_mtu", "unsupported"])
+            else:
+                ops.append([index, "config_mtu",
+                            dev.change_mtu(dev, event["mtu"])])
+        elif kind == "set_multi":
+            if dev.set_multicast_list is None:
+                ops.append([index, "set_multi", "unsupported"])
+            else:
+                ret = dev.set_multicast_list(dev)
+                ops.append([index, "set_multi", 0 if ret is None else ret])
+        elif kind == "ifdown_up":
+            # Quiesce first: frames already DMA'd into the rx ring but
+            # not yet harvested by NAPI are discarded by dev_close in
+            # both variants, and whether any are in flight at close
+            # time depends on how far the replay schedule has slipped.
+            # A short settle drains them so the comparison measures the
+            # drivers, not the race between rx and shutdown.
+            kernel.run_for_ms(2)
+            kernel.net.dev_close(dev)
+            kernel.run_for_ms(event["down_ms"])
+            ret = kernel.net.dev_open(dev)
+            ops.append([index, "ifdown_up", ret])
+        else:
+            raise ValueError("unknown net event %r" % kind)
+
+    def _teardown_net(self, rig, state, obs):
+        dev = state["dev"]
+        rig.kernel.net.dev_close(dev)
+        stats = dev.stats.snapshot()
+        counters = obs["counters"]
+        for key in ("tx_packets", "rx_packets", "tx_bytes", "rx_bytes"):
+            counters[key] = stats[key]
+        obs["sound"] = {}
+        counters["mac"] = dev.dev_addr.hex()
+        counters["mtu"] = dev.mtu
+
+    # -- sound -------------------------------------------------------------
+
+    def _setup_sound(self, rig, obs):
+        rig.insmod()
+        return {"sound": rig.kernel.sound}
+
+    def _apply_sound(self, rig, state, event, index, obs):
+        sound = state["sound"]
+        ss = sound.cards[0].pcms[0].playback
+        ops = obs["ops"]
+        ops.append([index, "open", sound.pcm_open(ss)])
+        ops.append([index, "hw_params", sound.pcm_hw_params(
+            ss, event["rate"], event["channels"], event["sample_bytes"],
+            event["period_frames"], event["periods"])])
+        ops.append([index, "prepare", sound.pcm_prepare(ss)])
+        ops.append([index, "trigger_start",
+                    sound.pcm_trigger(ss, SNDRV_PCM_TRIGGER_START)])
+        written = sound.pcm_write(ss, event["write_frames"])
+        ops.append([index, "write", written])
+        # periods_elapsed at write-return is phase-coupled: pcm_write
+        # waits in period-sized quanta while the DAC's period clock
+        # started at trigger time, so the decaf variant's crossing
+        # costs can shift one period boundary into (or out of) the
+        # blocking write.  Compared per-cycle with a +/-1 bound rather
+        # than strictly, like device_irqs.
+        obs["counters"]["pcm%d_periods" % index] = ss.runtime.periods_elapsed
+        ops.append([index, "trigger_stop",
+                    sound.pcm_trigger(ss, SNDRV_PCM_TRIGGER_STOP)])
+        ops.append([index, "close", sound.pcm_close(ss)])
+
+    def _teardown_sound(self, rig, state, obs):
+        device = rig.device
+        obs["sound"] = {
+            "rate_reg": device.src_ram[0x75 % 128],
+            "codec_master": device.codec_regs[0x02],
+        }
+        # Interrupt count is timing-coupled: XPC crossings consume
+        # virtual time, so the decaf run can catch one more/fewer period
+        # boundary around trigger-stop.  Compared with a bounded delta.
+        obs["counters"]["device_irqs"] = device.period_interrupts
+
+    # -- input -------------------------------------------------------------
+
+    def _setup_input(self, rig, obs):
+        rig.insmod()
+        delivered = obs["input"]
+        rig.kernel.input.devices[0].sink = (
+            lambda events: delivered.extend(list(ev) for ev in events))
+        return {}
+
+    def _apply_input(self, rig, state, event, index, obs):
+        rig.device.move(event["dx"], event["dy"],
+                        buttons=event["buttons"], wheel=event["wheel"])
+
+    def _teardown_input(self, rig, state, obs):
+        device = rig.device
+        obs["sound"] = {
+            "rate": device.sample_rate,
+            "resolution": device.resolution,
+            "id": device.device_id,
+        }
+
+    # -- usb storage -------------------------------------------------------
+
+    def _setup_usb(self, rig, obs):
+        rig.insmod()
+        return {"dev": rig.kernel.usb.devices[0]}
+
+    def _apply_usb(self, rig, state, event, index, obs):
+        dev = state["dev"]
+        payload = bytes.fromhex(event["payload"])
+        cmd = struct.pack("<BBHI", 1, 0, event["blocks"],
+                          event["lba"]) + payload
+        status, nbytes = rig.kernel.usb.usb_bulk_msg(
+            dev, usb_sndbulkpipe(dev, 2), cmd)
+        obs["ops"].append([index, "bulk_write", status, nbytes])
+
+    def _teardown_usb(self, rig, state, obs):
+        obs["disk"] = {
+            str(lba): frame_digest(block)
+            for lba, block in rig.extra["disk"].blocks.items()
+        }
+        obs["sound"] = {}
+
+    # -- pair comparison ---------------------------------------------------
+
+    def run_pair(self, scenario):
+        legacy = self.run_one(scenario, decaf=False)
+        decaf = self.run_one(scenario, decaf=True)
+        if scenario.mode == "strict":
+            divergences = self._compare_strict(scenario, legacy, decaf)
+        else:
+            divergences = self._compare_faulty(scenario, legacy, decaf)
+        for name, obs in (("legacy", legacy), ("decaf", decaf)):
+            for kind, message in obs["lockdep"]:
+                divergences.append(Divergence(
+                    "lockdep", "%s: %s: %s" % (name, kind, message)))
+        return PairResult(scenario, legacy, decaf, divergences)
+
+    def _payload_items(self, scenario):
+        """Linear size of the schedule, for the crossing bound."""
+        items = 0
+        for event in scenario.events:
+            kind = event["kind"]
+            if kind in ("tx_burst", "rx_burst"):
+                items += len(event["frames"])
+            elif kind == "irq_storm":
+                items += event["count"]
+            elif kind == "pcm_cycle":
+                items += (event["write_frames"] // event["period_frames"]
+                          + event["periods"])
+            elif kind == "bulk_write":
+                items += event["blocks"]
+            else:
+                items += 1
+        return items
+
+    def _check_crossings(self, scenario, legacy, decaf, divergences):
+        if legacy["counters"]["crossings"] != 0:
+            divergences.append(Divergence(
+                "counters", "legacy run recorded %d XPC crossings"
+                % legacy["counters"]["crossings"]))
+        crossings = decaf["counters"]["crossings"]
+        if crossings <= 0:
+            divergences.append(Divergence(
+                "counters", "decaf run recorded no XPC crossings"))
+        bound = (2000 + 400 * len(scenario.events)
+                 + 60 * self._payload_items(scenario))
+        if crossings > bound:
+            divergences.append(Divergence(
+                "counters",
+                "decaf crossings %d exceed linear bound %d"
+                % (crossings, bound)))
+
+    def _compare_strict(self, scenario, legacy, decaf):
+        divergences = []
+        for channel in Observation.STRICT_EQUAL:
+            if legacy[channel] != decaf[channel]:
+                divergences.append(Divergence(
+                    channel,
+                    "legacy %r != decaf %r"
+                    % (_clip(legacy[channel]), _clip(decaf[channel]))))
+        mode = REG_TRACE_MODE.get(scenario.family, "footprint")
+        if mode == "full":
+            if legacy["reg_trace"] != decaf["reg_trace"]:
+                divergences.append(Divergence(
+                    "reg_trace", _trace_diff(legacy["reg_trace"],
+                                             decaf["reg_trace"])))
+        else:
+            lfp = write_footprint(legacy["reg_trace"])
+            dfp = write_footprint(decaf["reg_trace"])
+            if lfp != dfp:
+                divergences.append(Divergence(
+                    "reg_trace", _footprint_diff(lfp, dfp)))
+        for key in ("tx_packets", "rx_packets", "tx_bytes", "rx_bytes",
+                    "mac", "mtu"):
+            if key in legacy["counters"] and (
+                    legacy["counters"][key] != decaf["counters"].get(key)):
+                divergences.append(Divergence(
+                    "counters", "%s: legacy %r != decaf %r"
+                    % (key, legacy["counters"][key],
+                       decaf["counters"].get(key))))
+        for key in sorted(legacy["counters"]):
+            if key.startswith("pcm") and key.endswith("_periods"):
+                # periods_elapsed counts *serviced* period interrupts,
+                # and hw_ptr advances from the pointer op (true device
+                # position), so irqs coalesce: one serviced irq can
+                # cover several consumed periods.  Coalescing depth is
+                # bounded by the ring, so the variants may differ by up
+                # to the ring's period count.
+                try:
+                    index = int(key[3:-len("_periods")])
+                    bound = scenario.events[index]["periods"]
+                except (ValueError, IndexError, KeyError):
+                    bound = 4
+                delta = abs(legacy["counters"][key]
+                            - decaf["counters"].get(key, 0))
+                if delta > bound:
+                    divergences.append(Divergence(
+                        "counters",
+                        "%s: legacy %d vs decaf %d (bound %d)"
+                        % (key, legacy["counters"][key],
+                           decaf["counters"].get(key, 0), bound)))
+        if "device_irqs" in legacy["counters"]:
+            # Each pcm cycle contributes up to two phase-coupled irqs:
+            # one inside the blocking write (see pcmN_periods) and one
+            # in the window between the periods read and the DAC2
+            # disable reaching the device.
+            cycles = sum(1 for ev in scenario.events
+                         if ev["kind"] == "pcm_cycle")
+            bound = 2 + 2 * cycles
+            delta = abs(legacy["counters"]["device_irqs"]
+                        - decaf["counters"].get("device_irqs", 0))
+            if delta > bound:
+                divergences.append(Divergence(
+                    "counters",
+                    "device_irqs: legacy %d vs decaf %d (bound %d)"
+                    % (legacy["counters"]["device_irqs"],
+                       decaf["counters"].get("device_irqs", 0), bound)))
+        self._check_crossings(scenario, legacy, decaf, divergences)
+        return divergences
+
+    def _compare_faulty(self, scenario, legacy, decaf):
+        divergences = []
+        fired = decaf["counters"]["faults_fired"]
+        for channel in ("tx", "rx", "input"):
+            lch, dch = legacy[channel], decaf[channel]
+            if not is_subsequence(dch, lch):
+                divergences.append(Divergence(
+                    channel,
+                    "decaf delivery is not a subsequence of legacy "
+                    "(reorder/duplicate/corruption)"))
+                continue
+            loss = len(lch) - len(dch)
+            bound = 8 + 24 * max(fired, 1)
+            if loss > bound:
+                divergences.append(Divergence(
+                    channel, "lost %d payloads, bound %d" % (loss, bound)))
+        for lba, block_digest in decaf["disk"].items():
+            if legacy["disk"].get(lba) not in (None, block_digest):
+                divergences.append(Divergence(
+                    "disk", "block %s corrupted" % lba))
+        counters = decaf["counters"]
+        if fired > 0 and counters["recoveries"] < 1:
+            divergences.append(Divergence(
+                "recovery", "%d faults fired but no recovery ran" % fired))
+        for flag in ("gave_up", "recovery_pending", "channel_failed"):
+            if counters[flag]:
+                divergences.append(Divergence(
+                    "recovery", "decaf run ended with %s" % flag))
+        if legacy["counters"]["crossings"] != 0:
+            divergences.append(Divergence(
+                "counters", "legacy run recorded XPC crossings"))
+        return divergences
+
+
+def _clip(value, limit=6):
+    """First items of a channel, for readable divergence details."""
+    if isinstance(value, list) and len(value) > limit:
+        return value[:limit] + ["... %d more" % (len(value) - limit)]
+    return value
+
+
+def _trace_diff(a, b):
+    """Locate the first register-trace mismatch."""
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return ("first mismatch at access %d: legacy %r != decaf %r"
+                    % (i, x, y))
+    return ("length mismatch: legacy %d accesses, decaf %d"
+            % (len(a), len(b)))
+
+
+def _footprint_diff(lfp, dfp):
+    """Name the first register whose write sequence differs."""
+    for region in sorted(set(lfp) | set(dfp)):
+        lregs = lfp.get(region, {})
+        dregs = dfp.get(region, {})
+        for offset in sorted(set(lregs) | set(dregs)):
+            lv, dv = lregs.get(offset), dregs.get(offset)
+            if lv != dv:
+                return ("%s+%#x writes: legacy %s != decaf %s"
+                        % (region, offset, _clip(lv), _clip(dv)))
+    return "footprints differ"

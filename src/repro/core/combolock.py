@@ -57,6 +57,10 @@ class ComboLock:
             )
         if self._held_by is not None:
             raise DeadlockError("combolock %s: recursive acquisition" % self.name)
+        lockdep = self._kernel.lockdep
+        if lockdep is not None:
+            lockdep.check_acquire(self, "spin")
+            lockdep.push(self)
         # Kernel-only acquisition: spinlock semantics.
         self._held_by = "kernel-spin"
         self.spin_acquisitions += 1
@@ -66,9 +70,15 @@ class ComboLock:
 
     def _acquire_user(self):
         # User-mode acquisition: semaphore semantics; may sleep.
+        lockdep = self._kernel.lockdep
+        if lockdep is not None:
+            lockdep.check_acquire(self, "combo-sem")
         self._kernel.context.might_sleep("combolock %s (semaphore mode)" % self.name)
         if self._held_by is not None:
             raise DeadlockError("combolock %s: recursive acquisition" % self.name)
+        lockdep = self._kernel.lockdep
+        if lockdep is not None:
+            lockdep.push(self)
         self._held_by = "user-sem"
         self.sem_acquisitions += 1
         self._kernel.cpu.charge(self._kernel.costs.context_switch_ns, "locking")
@@ -82,6 +92,9 @@ class ComboLock:
         if mode == "kernel-spin":
             self._kernel.context.preempt_enable()
         self._held_by = None
+        lockdep = self._kernel.lockdep
+        if lockdep is not None:
+            lockdep.pop(self)
         tracer = self._kernel.tracer
         if tracer is not None and self._acquired_ns is not None:
             kind = "combo-spin" if mode == "kernel-spin" else "combo-sem"

@@ -631,6 +631,13 @@ class XpcChannel:
         kernel = self.xpc.kernel
         if self.failed:
             self._fail_fast("downcall", func)
+        if self.inject_hook is not None:
+            # Entry is the injection point: the fault models the
+            # crossing itself failing, before any kernel state is
+            # touched.  The raise unwinds into the user-level driver
+            # and is contained by the surrounding upcall/notify
+            # dispatch, like any other driver failure.
+            self.inject_hook("downcall", _callsite(func))
         self.xpc.downcalls += 1
         self.xpc.kernel_user_crossings += 1
         tracer = kernel.tracer

@@ -207,15 +207,23 @@ class E1000DecafDriver:
         if len(addr) != 6:
             raise ConfigException("MAC must be 6 bytes")
         adapter.hw.mac_addr = list(addr)
+        if self.hw is not None and self.hw.hw is not adapter.hw:
+            # self.hw was bound to the twin marshaled at probe time;
+            # later upcalls see fresh twins.  Without this sync the
+            # reinit path (init_hw -> init_rx_addrs) re-programs the
+            # stale pre-set_mac address into RAL0.
+            self.hw.hw.mac_addr = list(addr)
         self.hw.rar_set(list(addr), 0)
         self._down(self.nucleus.k_set_netdev_mac, extra=(bytes(addr),))
         return 0
 
-    def change_mtu(self, adapter, new_mtu):
+    def change_mtu(self, adapter, new_mtu, running=0):
         if new_mtu < 68 or new_mtu > 16110:
             raise ConfigException("MTU %d out of range" % new_mtu)
         adapter.hw.max_frame_size = new_mtu + 18
         self._down(self.nucleus.k_set_netdev_mtu, extra=(new_mtu,))
+        if running:
+            self.reinit_locked(adapter)
         return 0
 
     def tx_timeout(self, adapter):

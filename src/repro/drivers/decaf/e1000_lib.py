@@ -26,9 +26,10 @@ from ..legacy.e1000_main import (
 class E1000DriverLibrary:
     """User-level C half of the split: raw-memory helpers."""
 
-    def __init__(self, kernel, channel):
+    def __init__(self, kernel, channel, napi=True):
         self.kernel = kernel
         self.channel = channel
+        self.napi = napi
         self.calls = 0
 
     def _region(self, handle):
@@ -82,6 +83,12 @@ class E1000DriverLibrary:
                      rx_ring.count * E1000_RX_DESC_SIZE)
         self._writel(hw_addr, hw_defs.RDH, 0)
         self._writel(hw_addr, hw_defs.RDT, 0)
+        if self.napi:
+            # Same throttle the legacy NAPI path programs (4000 ints/s
+            # in 256 ns units); without it the decaf device interrupts
+            # per-packet while legacy batches.
+            self._writel(hw_addr, hw_defs.ITR,
+                         1_000_000_000 // (4000 * 256))
         rx_ring.next_to_use = 0
         rx_ring.next_to_clean = 0
         return 0

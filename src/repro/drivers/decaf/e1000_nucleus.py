@@ -61,7 +61,8 @@ class E1000Nucleus:
         self.pdev = pdev
         self.plumbing = DecafPlumbing(self.kernel, "e1000",
                                       irq_line=pdev.irq)
-        self.library = E1000DriverLibrary(self.kernel, self.plumbing.channel)
+        self.library = E1000DriverLibrary(self.kernel, self.plumbing.channel,
+                                          napi=legacy.napi_mode)
         self.decaf = E1000DecafDriver(self.plumbing.decaf_rt, self,
                                       self.library)
         self.plumbing.decaf_rt.start()
@@ -139,9 +140,12 @@ class E1000Nucleus:
         return ret
 
     def stub_change_mtu(self, dev, new_mtu):
+        # netif_running is kernel state the user half cannot read; it
+        # rides up with the call so a running adapter is reinitialized
+        # with the new frame size (as the legacy driver does).
         ret = self.plumbing.upcall(
             self.decaf.change_mtu, args=[(self.adapter, e1000_adapter)],
-            extra=(new_mtu,),
+            extra=(new_mtu, 1 if dev.netif_running() else 0),
         )
         if ret == 0:
             self.plumbing.record("change_mtu", new_mtu)
@@ -359,6 +363,11 @@ class E1000Nucleus:
 
     def k_set_netdev_mac(self, addr):
         self.netdev.dev_addr = bytes(addr)
+        # Keep the kernel-side adapter twin in sync: later upcalls
+        # marshal it out, and a stale hw.mac_addr would make set_multi
+        # re-program the old address into RAR0.
+        if self.adapter is not None:
+            self.adapter.hw.mac_addr = list(addr)
         return 0
 
     def k_set_netdev_mtu(self, mtu):
@@ -398,7 +407,8 @@ class E1000Nucleus:
 
     def rebuild_user_half(self):
         """Fresh user-level instances bound to the restarted runtime."""
-        self.library = E1000DriverLibrary(self.kernel, self.plumbing.channel)
+        self.library = E1000DriverLibrary(self.kernel, self.plumbing.channel,
+                                          napi=legacy.napi_mode)
         self.decaf = E1000DecafDriver(self.plumbing.decaf_rt, self,
                                       self.library)
 

@@ -22,7 +22,9 @@ from .exceptions import (
 from ..legacy.rtl8139 import (
     BMSR,
     CONFIG1,
+    CR,
     IDR0,
+    IMR,
     MSR,
     MSR_LINKB,
 )
@@ -105,6 +107,11 @@ class Rtl8139DecafDriver:
         from ..legacy.rtl8139 import rtl8139_private
 
         self._down(self.nucleus.k_netif_stop)
+        # Halt the chip before tearing anything down (as the legacy
+        # close does): masked interrupts, rx/tx engines stopped --
+        # otherwise the device can keep DMAing into freed rings.
+        self.rt.outw(0, tp.ioaddr + IMR)
+        self.rt.outb(0, tp.ioaddr + CR)
         self.stop_thread(tp)
         self._down(self.nucleus.k_free_irq, args=[(tp, rtl8139_private)])
         tp.cur_tx = 0

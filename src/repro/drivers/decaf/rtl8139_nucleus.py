@@ -119,6 +119,9 @@ class Rtl8139Nucleus:
             extra=(list(addr),),
         )
         if ret == 0:
+            # The netdev is kernel state; mirror what the legacy driver
+            # does after programming IDR (the user half only sees tp).
+            dev.dev_addr = bytes(addr)
             self.plumbing.record("set_mac", list(addr))
         return ret
 

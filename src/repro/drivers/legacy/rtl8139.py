@@ -231,6 +231,7 @@ def rtl8139_init_one(pdev):
     dev.hard_start_xmit = rtl8139_start_xmit
     dev.get_stats = rtl8139_get_stats
     dev.set_multicast_list = rtl8139_set_rx_mode
+    dev.set_mac_address = rtl8139_set_mac_address
     dev.tx_timeout = rtl8139_tx_timeout
     dev.irq = tp.irq
     dev.base_addr = tp.ioaddr

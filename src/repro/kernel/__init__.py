@@ -24,7 +24,7 @@ from .errors import (
 from .input import InputCore, InputDev, SerioPort
 from .ioports import IoSpace
 from .irq import IRQ_HANDLED, IRQ_NONE, IrqController
-from .locks import Mutex, Semaphore, SpinLock
+from .locks import LockDep, LockDepReport, Mutex, Semaphore, SpinLock
 from .memory import GFP_ATOMIC, GFP_KERNEL, MemoryManager
 from .module import KernelModule, ModuleLoader
 from .napi import NapiCore, NapiStruct

@@ -27,6 +27,9 @@ class ExecContext:
         self._softirq_depth = 0
         self._spinlocks_held = []
         self._preempt_disabled = 0
+        # Set by Kernel.enable_lockdep(); violations found by
+        # might_sleep are then also recorded as lockdep reports.
+        self.lockdep = None
 
     # -- context queries ---------------------------------------------------
 
@@ -108,6 +111,8 @@ class ExecContext:
         context, so the simulator treats a violation as a test failure.
         """
         if self.in_atomic():
+            if self.lockdep is not None:
+                self.lockdep.note_might_sleep(what, self)
             held = ", ".join(getattr(l, "name", "?") for l in self._spinlocks_held)
             raise SleepInAtomicError(
                 "%s may sleep, but CPU is in %s context%s"

@@ -58,6 +58,10 @@ class Kernel:
         # Every tracepoint in the kernel guards on this one attribute,
         # so the disabled path costs one load + one identity test.
         self.tracer = None
+        # Runtime lock validator (repro.kernel.locks.LockDep); opt-in
+        # via enable_lockdep() -- conformance runs turn it on, ordinary
+        # rigs pay one attribute load per lock operation.
+        self.lockdep = None
 
         # Bus / class subsystems are attached lazily to keep the core free
         # of upward dependencies; see repro.kernel.__init__.
@@ -73,6 +77,17 @@ class Kernel:
         # spinlock); parked here until the CPU is back in process
         # context, like work preempted by an interrupt.
         self._parked_process_events = deque()
+
+    # -- lockdep ---------------------------------------------------------------
+
+    def enable_lockdep(self):
+        """Install (or return) the runtime lock validator."""
+        if self.lockdep is None:
+            from .locks import LockDep
+
+            self.lockdep = LockDep(self)
+            self.context.lockdep = self.lockdep
+        return self.lockdep
 
     # -- logging (printk) ----------------------------------------------------
 

@@ -40,6 +40,12 @@ class IoSpace:
         self._regions = []
         self.port_accesses = 0
         self.mmio_accesses = 0
+        # Conformance tap: a callable(op, region_name, offset, size, value)
+        # invoked for every register access ("r" after the read returns,
+        # "w" before the device sees it).  Offsets are region-relative so
+        # identical driver behaviour digests identically even if bus
+        # enumeration assigns different bases.
+        self.trace_tap = None
         # Fault injection: addr -> forced read value.  A wedged register
         # reads that value and drops writes -- the signature of a hung
         # device (all-ones is what a dead PCI function returns).
@@ -99,7 +105,11 @@ class IoSpace:
                 return forced & ((1 << (8 * size)) - 1)
         value = region.handler.read(addr - region.base, size)
         mask = (1 << (8 * size)) - 1
-        return value & mask
+        value &= mask
+        tap = self.trace_tap
+        if tap is not None:
+            tap("r", region.name, addr - region.base, size, value)
+        return value
 
     def write(self, addr, value, size, is_mmio):
         region = self._find(addr, size, is_mmio)
@@ -107,7 +117,11 @@ class IoSpace:
         if self._wedged and addr in self._wedged:
             return
         mask = (1 << (8 * size)) - 1
-        region.handler.write(addr - region.base, value & mask, size)
+        value &= mask
+        tap = self.trace_tap
+        if tap is not None:
+            tap("w", region.name, addr - region.base, size, value)
+        region.handler.write(addr - region.base, value, size)
 
     # -- Linux-style accessors --------------------------------------------------
 

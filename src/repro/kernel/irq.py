@@ -77,6 +77,10 @@ class IrqController:
     def irq_disabled(self, irq):
         return self._line(irq).disable_depth > 0
 
+    def irqs_enabled(self):
+        """True when local interrupts are unmasked (lockdep usage)."""
+        return self._local_disable_depth == 0
+
     def local_irq_disable(self):
         self._local_disable_depth += 1
 
@@ -119,6 +123,11 @@ class IrqController:
                 tracer.instant("irq.spurious", {"irq": line.number})
             return
         entry_ns = kernel.clock.now_ns if tracer is not None else 0
+        lockdep = kernel.lockdep
+        if lockdep is not None:
+            # A spinlock the handler also takes held across this entry
+            # is the canonical irq deadlock; report before dispatching.
+            lockdep.note_hardirq_entry()
         # The CPU masks local interrupts while a handler runs: a device
         # asserting mid-handler is latched and delivered on return, so
         # handlers never nest (no reentrant ring cleaning).

@@ -1,8 +1,29 @@
 """Shared fixtures for the test suite."""
 
+import random
+
 import pytest
 
 from repro.kernel import make_kernel
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    # Determinism audit: property tests draw the same examples on every
+    # run, so a red CI is reproducible locally with no shrink-database
+    # or wall-clock coupling.
+    _hypothesis_settings.register_profile("deterministic",
+                                          derandomize=True, deadline=None)
+    _hypothesis_settings.load_profile("deterministic")
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
+
+
+@pytest.fixture
+def rng():
+    """A seeded RNG: tests that need randomness share this instead of
+    the global ``random`` module, so runs are reproducible."""
+    return random.Random(0xDECAF)
 
 
 @pytest.fixture
