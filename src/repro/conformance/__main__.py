@@ -99,6 +99,9 @@ def main(argv=None):
     parser.add_argument("--drivers", default=",".join(DRIVERS),
                         help="comma-separated driver list (default %s)"
                              % ",".join(DRIVERS))
+    parser.add_argument("--smp", type=int, default=1,
+                        help="virtual CPUs per rig (default 1); >1 also "
+                             "runs the e1000 pair multi-queue")
     parser.add_argument("--out", default=None,
                         help="directory for divergence repro scripts")
     parser.add_argument("--canary", action="store_true",
@@ -119,7 +122,7 @@ def main(argv=None):
     if args.out is not None:
         os.makedirs(args.out, exist_ok=True)
 
-    runner = DifferentialRunner()
+    runner = DifferentialRunner(smp=args.smp)
     results, suite_digest, failures = run_sweep(
         seeds, drivers, runner, out_dir=args.out, verbose=args.verbose)
     print("%d scenario pairs, %d divergent; suite digest %s"
@@ -128,7 +131,7 @@ def main(argv=None):
     status = len(failures)
     if args.selfcheck:
         _, second_digest, _ = run_sweep(seeds, drivers,
-                                        DifferentialRunner())
+                                        DifferentialRunner(smp=args.smp))
         if second_digest != suite_digest:
             print("SELFCHECK FAILED: suite digest not reproducible "
                   "(%s != %s)" % (suite_digest, second_digest))

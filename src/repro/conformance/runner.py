@@ -66,8 +66,15 @@ REG_TRACE_MODE = {"net": "footprint", "sound": "footprint",
 #: track NAPI poll and interrupt boundaries, which shift legitimately
 #: with the virtual-time cost of XPC crossings; for these the footprint
 #: keeps the set of distinct values written instead of the sequence.
+#: The e1000's per-queue register blocks repeat at a 0x100 stride
+#: (queue 1's ICR is 0x1C0, its RDT 0x2918, ...), so the timing and
+#: ring-tail sets cover every queue's copy.
+_E1000_STRIDES = tuple(q * 0x100 for q in range(8))
+
 TIMING_REGS = {
-    "e1000": frozenset((0x000C0, 0x000D0, 0x000D8)),   # ICR, IMS, IMC
+    "e1000": frozenset(reg + s                         # ICR, IMS, IMC
+                       for reg in (0x000C0, 0x000D0, 0x000D8)
+                       for s in _E1000_STRIDES),
     "8139too": frozenset((0x3C, 0x3E)),                # IMR, ISR
     # MEM_PAGE is rewritten once per period-interrupt service and
     # SERIAL's P2_INTR_EN bit is toggled to ack each one, so their
@@ -79,7 +86,9 @@ TIMING_REGS = {
 #: batches across poll boundaries, which shifts with crossing costs.
 #: The footprint keeps only the final value (where the ring ended up).
 RING_TAIL_REGS = {
-    "e1000": frozenset((0x02818, 0x03818)),            # RDT, TDT
+    "e1000": frozenset(reg + s                         # RDT, TDT
+                       for reg in (0x02818, 0x03818)
+                       for s in _E1000_STRIDES),
 }
 
 
@@ -162,16 +171,27 @@ def nobble_drop_tx(rig):
 
 class DifferentialRunner:
     def __init__(self, lockdep=True, nobble=None, settle_ms=40,
-                 max_recoveries=8):
+                 max_recoveries=8, smp=1):
         self.lockdep = lockdep
         self.nobble = nobble  # callable(rig), decaf rig only (canary)
         self.settle_ms = settle_ms
         self.max_recoveries = max_recoveries
+        # Virtual CPUs per rig; >1 additionally runs the e1000 pair
+        # multi-queue (one NAPI context per queue, affined per CPU).
+        self.smp = smp
+
+    def _make_rig(self, scenario, decaf):
+        kwargs = {"decaf": decaf}
+        if self.smp > 1:
+            kwargs["nr_cpus"] = self.smp
+            if scenario.driver == "e1000":
+                kwargs["num_queues"] = min(self.smp, 4)
+        return MAKERS[scenario.driver](**kwargs)
 
     # -- single run --------------------------------------------------------
 
     def run_one(self, scenario, decaf):
-        rig = MAKERS[scenario.driver](decaf=decaf)
+        rig = self._make_rig(scenario, decaf)
         kernel = rig.kernel
         if self.lockdep:
             kernel.enable_lockdep()
@@ -241,8 +261,26 @@ class DifferentialRunner:
         rig.kernel.run_for_ms(60)  # settle reset/link-up timers
         tx, rx = obs["tx"], obs["rx"]
         rig.link.peer_rx = lambda frame: tx.append(frame_digest(frame))
-        net.rx_sink = lambda _dev, skb: rx.append(frame_digest(skb.data))
-        return {"dev": dev}
+        state = {"dev": dev}
+        num_queues = getattr(rig.device, "num_queues", 1)
+        if num_queues > 1:
+            # Multi-queue: the cross-queue interleave of deliveries is
+            # timing-coupled (per-queue NAPI contexts on different CPUs
+            # shift with crossing costs), so record the rx channel as
+            # per-queue streams -- each stream must match exactly.
+            steer = rig.device.steer
+            buckets = {"q%d" % q: [] for q in range(num_queues)}
+
+            def rx_sink(_dev, skb):
+                data = skb.data
+                buckets["q%d" % steer(data)].append(frame_digest(data))
+
+            net.rx_sink = rx_sink
+            state["rx_buckets"] = buckets
+        else:
+            net.rx_sink = (
+                lambda _dev, skb: rx.append(frame_digest(skb.data)))
+        return state
 
     def _pump_xmit(self, rig, dev, frame):
         """Transmit one frame, advancing virtual time past queue-full."""
@@ -324,6 +362,8 @@ class DifferentialRunner:
 
     def _teardown_net(self, rig, state, obs):
         dev = state["dev"]
+        if "rx_buckets" in state:
+            obs["rx"] = state["rx_buckets"]
         rig.kernel.net.dev_close(dev)
         stats = dev.stats.snapshot()
         counters = obs["counters"]
@@ -540,13 +580,27 @@ class DifferentialRunner:
         fired = decaf["counters"]["faults_fired"]
         for channel in ("tx", "rx", "input"):
             lch, dch = legacy[channel], decaf[channel]
-            if not is_subsequence(dch, lch):
-                divergences.append(Divergence(
-                    channel,
-                    "decaf delivery is not a subsequence of legacy "
-                    "(reorder/duplicate/corruption)"))
+            # Multi-queue rx is a dict of per-queue streams; the
+            # no-reorder/no-corruption invariant holds per queue.
+            if isinstance(lch, dict):
+                streams = [(("%s[%s]" % (channel, q)),
+                            lch.get(q, []), dch.get(q, []))
+                           for q in sorted(set(lch) | set(dch))]
+            else:
+                streams = [(channel, lch, dch)]
+            loss = 0
+            ordered = True
+            for label, lst, dst in streams:
+                if not is_subsequence(dst, lst):
+                    divergences.append(Divergence(
+                        channel,
+                        "%s: decaf delivery is not a subsequence of "
+                        "legacy (reorder/duplicate/corruption)" % label))
+                    ordered = False
+                    break
+                loss += len(lst) - len(dst)
+            if not ordered:
                 continue
-            loss = len(lch) - len(dch)
             bound = 8 + 24 * max(fired, 1)
             if loss > bound:
                 divergences.append(Divergence(

@@ -81,7 +81,7 @@ class ComboLock:
             lockdep.push(self)
         self._held_by = "user-sem"
         self.sem_acquisitions += 1
-        self._kernel.cpu.charge(self._kernel.costs.context_switch_ns, "locking")
+        self._kernel.charge(self._kernel.costs.context_switch_ns, "locking")
         if self._kernel.tracer is not None:
             self._acquired_ns = self._kernel.clock.now_ns
 

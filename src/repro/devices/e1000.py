@@ -16,6 +16,7 @@ mac_type decisions they would on hardware.
 """
 
 import struct
+import zlib
 from collections import deque
 
 from ..kernel.pci import PciBar, PciFunction
@@ -120,6 +121,18 @@ RXD_STAT_EOP = 0x02
 
 DESC_SIZE = 16
 
+# Multi-queue register layout: queue ``q``'s interrupt block (ICR, ITR,
+# ICS, IMS, IMC) and its RX/TX descriptor ring blocks live at the
+# queue-0 offsets plus ``q * QUEUE_STRIDE`` -- an MSI-X-style per-vector
+# layout.  Queue 0 is byte-identical to the legacy single-queue map, so
+# an unmodified driver binds to a multi-queue device and simply never
+# touches the higher queues.  The stride keeps every strided offset
+# clear of the fixed registers for all q < MAX_QUEUES (RCTL at 0x100,
+# TCTL at 0x400, LEDCTL at 0xE00 and the 0x4000 statistics block are
+# never aliased; see tests/devices/test_e1000_multiqueue.py).
+QUEUE_STRIDE = 0x100
+MAX_QUEUES = 8
+
 # Precompiled descriptor codecs: the receive path touches these once per
 # packet, so the struct-format cache lookup is worth skipping.
 _RXD_ADDR = struct.Struct("<Q")
@@ -161,7 +174,10 @@ class E1000Device:
 
     def __init__(self, kernel, link, mac=b"\x00\x1B\x21\x3A\x4B\x5C",
                  device_id=0x100E, irq=10, mmio_base=0xF0000000,
-                 phy="m88", itr_window_ns=None):
+                 phy="m88", itr_window_ns=None, num_queues=1,
+                 rx_pending_cap=256):
+        if not 1 <= num_queues <= MAX_QUEUES:
+            raise ValueError("num_queues must be 1..%d" % MAX_QUEUES)
         self._kernel = kernel
         self.link = link
         link.nic_rx = self._link_rx
@@ -169,8 +185,46 @@ class E1000Device:
         self.device_id = device_id
         self.irq = irq
         self.phy_kind = phy
+        self.num_queues = num_queues
+        # How many frames a queue buffers while its ring is full before
+        # the device starts counting drops (the internal packet FIFO).
+        self.rx_pending_cap = rx_pending_cap
+
+        # Per-queue absolute register offsets; queue 0 is the legacy map.
+        qr = range(num_queues)
+        self._off_icr = [REG_ICR + q * QUEUE_STRIDE for q in qr]
+        self._off_itr = [REG_ITR + q * QUEUE_STRIDE for q in qr]
+        self._off_ims = [REG_IMS + q * QUEUE_STRIDE for q in qr]
+        self._off_rdbal = [REG_RDBAL + q * QUEUE_STRIDE for q in qr]
+        self._off_rdbah = [REG_RDBAH + q * QUEUE_STRIDE for q in qr]
+        self._off_rdlen = [REG_RDLEN + q * QUEUE_STRIDE for q in qr]
+        self._off_rdh = [REG_RDH + q * QUEUE_STRIDE for q in qr]
+        self._off_rdt = [REG_RDT + q * QUEUE_STRIDE for q in qr]
+        self._off_tdbal = [REG_TDBAL + q * QUEUE_STRIDE for q in qr]
+        self._off_tdbah = [REG_TDBAH + q * QUEUE_STRIDE for q in qr]
+        self._off_tdlen = [REG_TDLEN + q * QUEUE_STRIDE for q in qr]
+        self._off_tdh = [REG_TDH + q * QUEUE_STRIDE for q in qr]
+        self._off_tdt = [REG_TDT + q * QUEUE_STRIDE for q in qr]
+        # Dispatch tables for queues >= 1 (queue 0 keeps the original
+        # fast paths): absolute offset -> queue for read-to-clear ICR,
+        # and absolute offset -> (kind, queue) for side-effecting writes.
+        self._icr_alias = {}
+        self._strided = {}
+        for q in range(1, num_queues):
+            s = q * QUEUE_STRIDE
+            self._icr_alias[REG_ICR + s] = q
+            self._strided[REG_ITR + s] = ("itr", q)
+            self._strided[REG_ICS + s] = ("ics", q)
+            self._strided[REG_IMS + s] = ("ims", q)
+            self._strided[REG_IMC + s] = ("imc", q)
+            self._strided[REG_RDT + s] = ("rdt", q)
+            self._strided[REG_TDT + s] = ("tdt", q)
+            for off in (REG_RDBAL + s, REG_RDBAH + s, REG_RDLEN + s):
+                self._strided[off] = ("rxring", q)
+
         # Interrupt-throttle window; 0 selects true per-packet interrupts
-        # (the NAPI-ablation baseline).
+        # (the NAPI-ablation baseline).  Per queue: each vector throttles
+        # independently, like per-vector EITR on msi-x parts.
         self.itr_window_ns = (
             self.ITR_WINDOW_NS if itr_window_ns is None else itr_window_ns)
 
@@ -194,7 +248,18 @@ class E1000Device:
         self.frames_transmitted = 0
         self.frames_received = 0
         self.rx_no_buffer = 0
-        self._pending_rx = []
+        self.rx_queue_frames = [0] * num_queues
+        self.tx_queue_frames = [0] * num_queues
+        self._pending_rx = [[] for _ in qr]
+
+    @property
+    def itr_window_ns(self):
+        """Queue-0 throttle window (scalar API for single-queue users)."""
+        return self._itr_window_ns[0]
+
+    @itr_window_ns.setter
+    def itr_window_ns(self, value):
+        self._itr_window_ns = [value] * self.num_queues
 
     # -- EEPROM / PHY contents ---------------------------------------------------
 
@@ -225,37 +290,42 @@ class E1000Device:
         return regs
 
     def _reset_regs(self):
+        nq = self.num_queues
         self.regs = {
             REG_CTRL: CTRL_FD,
             REG_STATUS: STATUS_FD,  # link comes up after SLU/autoneg
-            REG_ICR: 0,
-            REG_IMS: 0,
             REG_RCTL: 0,
             REG_TCTL: 0,
-            REG_TDH: 0,
-            REG_TDT: 0,
-            REG_RDH: 0,
-            REG_RDT: 0,
         }
+        # Seed every queue's interrupt and ring-index registers so the
+        # hot paths can index them without .get().
+        for q in range(nq):
+            s = q * QUEUE_STRIDE
+            self.regs[REG_ICR + s] = 0
+            self.regs[REG_IMS + s] = 0
+            self.regs[REG_TDH + s] = 0
+            self.regs[REG_TDT + s] = 0
+            self.regs[REG_RDH + s] = 0
+            self.regs[REG_RDT + s] = 0
         self._link_up = False
-        # Cancel any armed throttle event: a stale expiry would clear
+        # Cancel any armed throttle events: a stale expiry would clear
         # the throttle state and defeat interrupt moderation.
-        stale = getattr(self, "_itr_event", None)
-        if stale is not None:
-            stale.cancel()
-        self._itr_event = None
-        # Drop any in-flight TX completions and their pump event.
-        stale = getattr(self, "_tx_pump_event", None)
-        if stale is not None:
-            stale.cancel()
-        self._tx_pump_event = None
-        self._tx_done = deque()
-        # (region, count) memo for the RX ring; invalidated when the
-        # driver reprograms RDBAL/RDBAH/RDLEN.
-        self._rx_ring_cache = None
-        # (base, end, region) memo for the RX buffer arena every
-        # descriptor's buffer pointer resolves into.
-        self._rx_buf_cache = None
+        for ev in getattr(self, "_itr_event", None) or ():
+            if ev is not None:
+                ev.cancel()
+        self._itr_event = [None] * nq
+        # Drop any in-flight TX completions and their pump events.
+        for ev in getattr(self, "_tx_pump_event", None) or ():
+            if ev is not None:
+                ev.cancel()
+        self._tx_pump_event = [None] * nq
+        self._tx_done = [deque() for _ in range(nq)]
+        # Per-queue (region, count) memo for the RX ring; invalidated
+        # when the driver reprograms that queue's RDBAL/RDBAH/RDLEN.
+        self._rx_ring_cache = [None] * nq
+        # Per-queue (base, end, region) memo for the RX buffer arena
+        # every descriptor's buffer pointer resolves into.
+        self._rx_buf_cache = [None] * nq
 
     # -- MMIO handler interface ----------------------------------------------------
 
@@ -264,6 +334,10 @@ class E1000Device:
         if offset == REG_ICR:
             value = self.regs.get(REG_ICR, 0)
             self.regs[REG_ICR] = 0  # read-to-clear
+            return value
+        if offset in self._icr_alias:  # queue >= 1 ICR: read-to-clear
+            value = self.regs.get(offset, 0)
+            self.regs[offset] = 0
             return value
         if offset == REG_EERD:
             return self.regs.get(REG_EERD, 0)
@@ -291,7 +365,7 @@ class E1000Device:
             # (82540 spec); 0 disables throttling.  The driver's dynamic
             # ITR reprograms this based on traffic class.
             self.regs[REG_ITR] = value
-            self.itr_window_ns = value * 256
+            self._itr_window_ns[0] = value * 256
         elif offset == REG_TDT:
             self.regs[REG_TDT] = value
             self._process_tx_ring()
@@ -303,9 +377,38 @@ class E1000Device:
         elif offset == REG_TCTL:
             self.regs[REG_TCTL] = value
         else:
+            strided = self._strided.get(offset)
+            if strided is not None:
+                self._write_strided(strided[0], strided[1], offset, value)
+                return
             if offset in (REG_RDBAL, REG_RDBAH, REG_RDLEN):
-                self._rx_ring_cache = None
+                self._rx_ring_cache[0] = None
             self.regs[offset] = value
+
+    def _write_strided(self, kind, q, offset, value):
+        """Side-effecting register writes for queues >= 1."""
+        regs = self.regs
+        if kind == "tdt":
+            regs[offset] = value
+            self._process_tx_ring(q)
+        elif kind == "rdt":
+            regs[offset] = value
+            self._drain_pending_rx(q)
+        elif kind == "ims":
+            off_ims = self._off_ims[q]
+            regs[off_ims] = regs.get(off_ims, 0) | value
+            self._maybe_fire(q)
+        elif kind == "imc":
+            off_ims = self._off_ims[q]
+            regs[off_ims] = regs.get(off_ims, 0) & ~value
+        elif kind == "ics":
+            self._assert_irq(value, q)
+        elif kind == "itr":
+            regs[offset] = value
+            self._itr_window_ns[q] = value * 256
+        else:  # "rxring": RDBAL/RDBAH/RDLEN reprogram
+            self._rx_ring_cache[q] = None
+            regs[offset] = value
 
     # -- CTRL / reset / link -----------------------------------------------------------
 
@@ -369,40 +472,45 @@ class E1000Device:
     # interrupts/second; we coalesce causes within this window.
     ITR_WINDOW_NS = 125_000
 
-    def _assert_irq(self, causes):
+    def _assert_irq(self, causes, q=0):
         regs = self.regs
-        icr = regs.get(REG_ICR, 0) | causes
-        regs[REG_ICR] = icr
+        off_icr = self._off_icr[q]
+        icr = regs.get(off_icr, 0) | causes
+        regs[off_icr] = icr
         # Fast paths: masked by IMS (the NAPI poll window) the cause only
         # latches; with the ITR throttle window open it accumulates.
-        if not icr & regs.get(REG_IMS, 0):
+        if not icr & regs.get(self._off_ims[q], 0):
             return
-        ev = self._itr_event
+        ev = self._itr_event[q]
         if ev is not None and not ev.cancelled:
             return
-        self._maybe_fire()
+        self._maybe_fire(q)
 
-    def _maybe_fire(self):
-        if not self.regs.get(REG_ICR, 0) & self.regs.get(REG_IMS, 0):
+    def _maybe_fire(self, q=0):
+        regs = self.regs
+        if not regs.get(self._off_icr[q], 0) & regs.get(self._off_ims[q], 0):
             return
-        if self.itr_window_ns <= 0:
+        window = self._itr_window_ns[q]
+        if window <= 0:
             # Throttling disabled: every unmasked cause fires at once.
-            self._kernel.irq.raise_irq(self.irq)
+            self._kernel.irq.raise_irq(self.irq + q)
             return
-        if self._itr_event is not None and not self._itr_event.cancelled:
+        ev = self._itr_event[q]
+        if ev is not None and not ev.cancelled:
             return  # throttled: causes accumulate until the window ends
         # Arm the throttle window BEFORE delivering: the handler's own
         # work can assert new causes synchronously, and those must see
         # the window open or they each arm an orphan window.
-        self._itr_event = self._kernel.events.schedule_timer_after(
-            self.itr_window_ns, self._itr_expire, name="e1000-itr"
+        self._itr_event[q] = self._kernel.events.schedule_timer_after(
+            window, lambda q=q: self._itr_expire(q), name="e1000-itr"
         )
-        self._kernel.irq.raise_irq(self.irq)
+        self._kernel.irq.raise_irq(self.irq + q)
 
-    def _itr_expire(self):
-        self._itr_event = None
-        if self.regs.get(REG_ICR, 0) & self.regs.get(REG_IMS, 0):
-            self._maybe_fire()
+    def _itr_expire(self, q=0):
+        self._itr_event[q] = None
+        regs = self.regs
+        if regs.get(self._off_icr[q], 0) & regs.get(self._off_ims[q], 0):
+            self._maybe_fire(q)
 
     # -- transmit path ------------------------------------------------------------------------
 
@@ -413,7 +521,7 @@ class E1000Device:
         count = length // DESC_SIZE if length else 0
         return region, count
 
-    def _process_tx_ring(self):
+    def _process_tx_ring(self, q=0):
         """Fetch new descriptors and put their frames on the wire.
 
         Completion (DD write-back, TDH advance, TXDW interrupt) is
@@ -421,13 +529,17 @@ class E1000Device:
         actually serialized the frame, so transmit throughput is
         link-limited as on hardware.
         """
-        if not self.regs.get(REG_TCTL, 0) & TCTL_EN:
+        regs = self.regs
+        if not regs.get(REG_TCTL, 0) & TCTL_EN:
             return
-        region, count = self._ring(REG_TDBAL, REG_TDBAH, REG_TDLEN)
+        region, count = self._ring(
+            self._off_tdbal[q], self._off_tdbah[q], self._off_tdlen[q])
         if region is None or count == 0:
             return
-        head = self.regs.get(REG_TDT_FETCHED, self.regs.get(REG_TDH, 0))
-        tail = self.regs.get(REG_TDT, 0) % count
+        fetched_key = REG_TDT_FETCHED + q
+        head = regs.get(fetched_key, regs.get(self._off_tdh[q], 0))
+        tail = regs.get(self._off_tdt[q], 0) % count
+        tx_done = self._tx_done[q]
         while head != tail:
             off = head * DESC_SIZE
             buf_addr, length, _cso, cmd, _status, _css, _special = struct.unpack_from(
@@ -438,12 +550,13 @@ class E1000Device:
             if frame is not None:
                 done_ns = self.link.transmit(frame)
                 self.frames_transmitted += 1
-            self._tx_done.append((done_ns, region, count, head, off, cmd))
+                self.tx_queue_frames[q] += 1
+            tx_done.append((done_ns, region, count, head, off, cmd))
             head = (head + 1) % count
-        self.regs[REG_TDT_FETCHED] = head
-        self._arm_tx_pump()
+        regs[fetched_key] = head
+        self._arm_tx_pump(q)
 
-    def _arm_tx_pump(self):
+    def _arm_tx_pump(self, q=0):
         """Keep one completion event armed at the head descriptor's time.
 
         Write-backs are batched: a single pump event completes every
@@ -451,67 +564,87 @@ class E1000Device:
         descriptor.  Per-descriptor timing is unchanged -- the pump fires
         exactly at the head's done time and re-arms for the next.
         """
-        if not self._tx_done:
+        tx_done = self._tx_done[q]
+        if not tx_done:
             return
-        due_ns = self._tx_done[0][0]
-        ev = self._tx_pump_event
+        due_ns = tx_done[0][0]
+        ev = self._tx_pump_event[q]
         if ev is not None and not ev.cancelled:
             if ev.time_ns <= due_ns:
                 return
             ev.cancel()
-        self._tx_pump_event = self._kernel.events.schedule_timer_at(
-            due_ns, self._tx_pump, name="e1000-txdone"
+        self._tx_pump_event[q] = self._kernel.events.schedule_timer_at(
+            due_ns, lambda q=q: self._tx_pump(q), name="e1000-txdone"
         )
 
-    def _tx_pump(self):
-        self._tx_pump_event = None
+    def _tx_pump(self, q=0):
+        self._tx_pump_event[q] = None
         now_ns = self._kernel.clock.now_ns
         want_irq = False
-        while self._tx_done and self._tx_done[0][0] <= now_ns:
-            _due, region, count, index, off, cmd = self._tx_done.popleft()
+        tx_done = self._tx_done[q]
+        off_tdh = self._off_tdh[q]
+        while tx_done and tx_done[0][0] <= now_ns:
+            _due, region, count, index, off, cmd = tx_done.popleft()
             if cmd & TXD_CMD_RS:
                 struct.pack_into("<B", region.data, off + 12, TXD_STAT_DD)
                 want_irq = True
-            self.regs[REG_TDH] = (index + 1) % count
+            self.regs[off_tdh] = (index + 1) % count
         if want_irq:
-            self._assert_irq(ICR_TXDW)
-        self._arm_tx_pump()
+            self._assert_irq(ICR_TXDW, q)
+        self._arm_tx_pump(q)
 
     # -- receive path ----------------------------------------------------------------------------
+
+    def steer(self, frame):
+        """RSS-style flow steering: which RX queue a frame lands on.
+
+        Hashes the flow-identifying bytes (source-MAC tail plus
+        ethertype, bytes 12..20 of the frame) so every frame of one
+        flow always lands on the same queue -- per-queue payload order
+        is deterministic regardless of queue count or CPU count.
+        """
+        if self.num_queues == 1:
+            return 0
+        return zlib.crc32(bytes(frame[12:20])) % self.num_queues
 
     def _link_rx(self, frame):
         if not self.regs.get(REG_RCTL, 0) & RCTL_EN:
             return
-        if not self._deliver_rx(frame):
-            self._pending_rx.append(frame)
-            if len(self._pending_rx) > 256:
-                self._pending_rx.pop(0)
+        q = self.steer(frame)
+        if not self._deliver_rx(frame, q):
+            pending = self._pending_rx[q]
+            pending.append(frame)
+            if len(pending) > self.rx_pending_cap:
+                pending.pop(0)
                 self.rx_no_buffer += 1
 
-    def _drain_pending_rx(self):
-        while self._pending_rx:
-            if not self._deliver_rx(self._pending_rx[0]):
+    def _drain_pending_rx(self, q=0):
+        pending = self._pending_rx[q]
+        while pending:
+            if not self._deliver_rx(pending[0], q):
                 return
-            self._pending_rx.pop(0)
+            pending.pop(0)
 
-    def _deliver_rx(self, frame):
-        cached = self._rx_ring_cache
+    def _deliver_rx(self, frame, q=0):
+        cached = self._rx_ring_cache[q]
         if cached is None or cached[0].freed:
-            region, count = self._ring(REG_RDBAL, REG_RDBAH, REG_RDLEN)
+            region, count = self._ring(
+                self._off_rdbal[q], self._off_rdbah[q], self._off_rdlen[q])
             if region is None or count == 0:
                 return False
-            self._rx_ring_cache = cached = (region, count)
+            self._rx_ring_cache[q] = cached = (region, count)
         region, count = cached
         regs = self.regs
-        head = regs[REG_RDH]
-        tail = regs[REG_RDT] % count
+        off_rdh = self._off_rdh[q]
+        head = regs[off_rdh]
+        tail = regs[self._off_rdt[q]] % count
         if head == tail:  # ring full from the device's perspective
             self.rx_no_buffer += 1
             return False
         off = head * DESC_SIZE
         buf_addr, = _RXD_ADDR.unpack_from(region.data, off)
         n = len(frame)
-        buf = self._rx_buf_cache
+        buf = self._rx_buf_cache[q]
         if (buf is not None and buf[0] <= buf_addr
                 and buf_addr + n <= buf[1] and not buf[2].freed):
             data = buf[2].data
@@ -523,22 +656,24 @@ class E1000Device:
                 return False
             buf_region.data[buf_off:buf_off + n] = frame
             base = buf_region.dma_addr
-            self._rx_buf_cache = (base, base + len(buf_region.data),
-                                  buf_region)
+            self._rx_buf_cache[q] = (base, base + len(buf_region.data),
+                                     buf_region)
         _RXD_WRITEBACK.pack_into(
             region.data, off + 8,
             n, 0, RXD_STAT_DD | RXD_STAT_EOP, 0, 0,
         )
-        regs[REG_RDH] = (head + 1) % count
+        regs[off_rdh] = (head + 1) % count
         self.frames_received += 1
-        # Inlined _assert_irq(ICR_RXT0): latch, then fire only when the
-        # cause is unmasked and no throttle window is open.
-        icr = regs[REG_ICR] | ICR_RXT0
-        regs[REG_ICR] = icr
-        if icr & regs[REG_IMS]:
-            ev = self._itr_event
+        self.rx_queue_frames[q] += 1
+        # Inlined _assert_irq(ICR_RXT0, q): latch, then fire only when
+        # the cause is unmasked and no throttle window is open.
+        off_icr = self._off_icr[q]
+        icr = regs[off_icr] | ICR_RXT0
+        regs[off_icr] = icr
+        if icr & regs[self._off_ims[q]]:
+            ev = self._itr_event[q]
             if ev is None or ev.cancelled:
-                self._maybe_fire()
+                self._maybe_fire(q)
         return True
 
     # -- DMA helpers ---------------------------------------------------------------------------------

@@ -69,12 +69,19 @@ class Rtl8139Device:
     BAR_SIZE = 0x100
 
     def __init__(self, kernel, link, mac=b"\x00\xE0\x4C\x39\x13\x9A",
-                 irq=11, io_base=0xC000):
+                 irq=11, io_base=0xC000, rx_coalesce_ns=0):
         self._kernel = kernel
         self.link = link
         link.nic_rx = self._link_rx
         self.mac = bytes(mac)
         self.irq = irq
+        # Interrupt-coalescing window (the 8139C+'s IntrMitigate knob,
+        # simplified): after raising an interrupt the device holds
+        # further deliveries for this many ns; causes latch in ISR and
+        # are delivered in one interrupt when the window closes.
+        # 0 (the default, and the classic 8139's behavior) delivers
+        # every unmasked cause immediately.
+        self.rx_coalesce_ns = rx_coalesce_ns
 
         self.pci = PciFunction(
             vendor_id=REALTEK_VENDOR_ID,
@@ -106,6 +113,12 @@ class Rtl8139Device:
             stale.cancel()
         self._tx_pump_event = None
         self._tx_done = deque()
+        # Cancel a pending coalesce-window expiry; a stale one would
+        # re-deliver against the post-reset ISR.
+        stale = getattr(self, "_coalesce_event", None)
+        if stale is not None:
+            stale.cancel()
+        self._coalesce_event = None
 
     # -- helpers --------------------------------------------------------------
 
@@ -123,8 +136,26 @@ class Rtl8139Device:
 
     def _assert_irq(self, bits):
         self._set_reg16(ISR, self._reg16(ISR) | bits)
-        if self._reg16(ISR) & self._reg16(IMR):
+        if not self._reg16(ISR) & self._reg16(IMR):
+            return
+        window = self.rx_coalesce_ns
+        if window <= 0:
             self._kernel.irq.raise_irq(self.irq)
+            return
+        ev = self._coalesce_event
+        if ev is not None and not ev.cancelled:
+            return  # window open: causes accumulate in ISR
+        # Arm the window BEFORE delivering so causes asserted from the
+        # handler's own work coalesce instead of re-arming windows.
+        self._coalesce_event = self._kernel.events.schedule_timer_after(
+            window, self._coalesce_expire, name="rtl8139-coalesce"
+        )
+        self._kernel.irq.raise_irq(self.irq)
+
+    def _coalesce_expire(self):
+        self._coalesce_event = None
+        if self._reg16(ISR) & self._reg16(IMR):
+            self._assert_irq(0)
 
     # -- I/O handler interface -----------------------------------------------------
 

@@ -296,17 +296,20 @@ class E1000Nucleus:
         return 0
 
     def k_setup_tx_resources(self, adapter):
-        return legacy.e1000_setup_tx_resources(adapter, adapter.tx_ring)
+        # All queues: queue 0 into the marshaled adapter, extra queues
+        # into kernel-side state (_state.extra_tx_rings) so the XPC
+        # wire format is independent of the queue count.
+        return legacy.e1000_setup_all_tx_resources(adapter)
 
     def k_setup_rx_resources(self, adapter):
-        return legacy.e1000_setup_rx_resources(adapter, adapter.rx_ring)
+        return legacy.e1000_setup_all_rx_resources(adapter)
 
     def k_free_tx_resources(self, adapter):
-        legacy.e1000_free_tx_resources(adapter, adapter.tx_ring)
+        legacy.e1000_free_all_tx_resources(adapter)
         return 0
 
     def k_free_rx_resources(self, adapter):
-        legacy.e1000_free_rx_resources(adapter, adapter.rx_ring)
+        legacy.e1000_free_all_rx_resources(adapter)
         return 0
 
     def k_request_irq(self):
@@ -315,6 +318,12 @@ class E1000Nucleus:
         if err:
             return err
         self.irq_requested = True
+        err = legacy.e1000_request_extra_vectors()
+        if err:
+            self.linux.free_irq(self.pdev.irq, self.netdev)
+            self.irq_requested = False
+            return err
+        legacy.e1000_set_irq_affinity()
         return 0
 
     def k_free_irq(self):
@@ -322,6 +331,7 @@ class E1000Nucleus:
             # NAPI must be gone (line unmasked) before free_irq: free_irq
             # does not reset the line's disable depth.
             legacy.e1000_napi_del()
+            legacy.e1000_free_extra_vectors()
             self.linux.free_irq(self.pdev.irq, self.netdev)
             self.irq_requested = False
         return 0
@@ -329,10 +339,14 @@ class E1000Nucleus:
     def k_up(self, adapter):
         hw = adapter.hw
         # The datapath (interrupt handler, poll, rings) is the legacy
-        # code unchanged, so NAPI bring-up is shared with it too.
+        # code unchanged, so NAPI bring-up is shared with it too.  The
+        # user half programs queue 0's registers itself; the extra
+        # queues are kernel-side state, configured here.
+        legacy.e1000_configure_extra_queues(adapter)
         legacy.e1000_napi_up(self.netdev)
         self.kernel.io.writel(hw_defs.E1000_IMS_ENABLE_MASK,
                               hw.hw_addr + hw_defs.IMS)
+        legacy.e1000_irq_enable_extra(adapter)
         self.start_watchdog()
         self.linux.netif_start_queue(self.netdev)
         return 0
@@ -340,6 +354,7 @@ class E1000Nucleus:
     def k_down(self, adapter):
         hw = adapter.hw
         self.kernel.io.writel(0xFFFFFFFF, hw.hw_addr + hw_defs.IMC)
+        legacy.e1000_irq_disable_extra(adapter)
         legacy.e1000_napi_down()
         self.k_stop_watchdog()
         self.linux.netif_stop_queue(self.netdev)
@@ -394,14 +409,15 @@ class E1000Nucleus:
             tx = adapter.tx_ring
             lost = (tx.next_to_use - tx.next_to_clean) % tx.count
             self.kernel.io.writel(0xFFFFFFFF, hw.hw_addr + hw_defs.IMC)
+            legacy.e1000_irq_disable_extra(adapter)
             legacy.e1000_napi_down()
             self.linux.netif_stop_queue(self.netdev)
             self.linux.netif_carrier_off(self.netdev)
             legacy.e1000_clean_all_tx_rings(adapter)
             legacy.e1000_clean_all_rx_rings(adapter)
             self.k_free_irq()
-            legacy.e1000_free_tx_resources(adapter, adapter.tx_ring)
-            legacy.e1000_free_rx_resources(adapter, adapter.rx_ring)
+            legacy.e1000_free_all_tx_resources(adapter)
+            legacy.e1000_free_all_rx_resources(adapter)
         self.k_pci_teardown()
         return lost
 
@@ -455,9 +471,10 @@ class _PciGlue:
                 and func.device_id in E1000_DEVICE_IDS)
 
 
-def make_module(options=None, napi=True):
+def make_module(options=None, napi=True, num_queues=1):
     def setup(kernel):
         legacy.set_napi_mode(napi)
+        legacy.set_num_queues(num_queues)
         nucleus = E1000Nucleus(kernel)
         nucleus.module_options = options
         return nucleus

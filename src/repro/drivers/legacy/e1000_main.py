@@ -47,6 +47,23 @@ def set_napi_mode(enabled):
     global napi_mode
     napi_mode = bool(enabled)
 
+
+# RX/TX queue pairs (multi-queue datapath).  Queue 0 uses the legacy
+# register map; queue q's interrupt and ring registers sit at the
+# queue-0 offset plus q * E1000_QUEUE_STRIDE and raise irq + q --
+# MSI-X-style per-queue vectors.  1 = the classic single-queue driver.
+num_queues_mode = 1
+E1000_QUEUE_STRIDE = 0x100
+
+
+def set_num_queues(n):
+    global num_queues_mode
+    num_queues_mode = max(1, int(n))
+
+
+def e1000_num_queues():
+    return num_queues_mode
+
 E1000_VENDOR_ID = 0x8086
 
 E1000_DEFAULT_TXD = 256
@@ -150,6 +167,13 @@ class e1000_state:
         self.irq_requested = False
         self.device_model = None
         self.napi = None
+        # Queues >= 1 (multi-queue mode): their rings never enter the
+        # marshaled e1000_adapter -- they are kernel-side state, so the
+        # XPC wire format is identical at any queue count.
+        self.extra_tx_rings = []
+        self.extra_rx_rings = []
+        self.extra_napis = []
+        self.extra_vectors = []
 
 
 _state = e1000_state()
@@ -280,8 +304,8 @@ def e1000_remove(pdev):
 
 def e1000_sw_init(adapter):
     adapter.rx_buffer_len = E1000_RXBUFFER_2048
-    adapter.num_tx_queues = 1
-    adapter.num_rx_queues = 1
+    adapter.num_tx_queues = num_queues_mode
+    adapter.num_rx_queues = num_queues_mode
     adapter.tx_ring.count = E1000_DEFAULT_TXD
     adapter.rx_ring.count = E1000_DEFAULT_RXD
     adapter.hw.max_frame_size = 1518
@@ -365,10 +389,51 @@ def e1000_request_irq(adapter):
     if err:
         return err
     _state.irq_requested = True
+    err = e1000_request_extra_vectors()
+    if err:
+        e1000_free_irq(adapter)
+        return err
+    e1000_set_irq_affinity()
     return 0
 
 
+def e1000_request_extra_vectors():
+    """Request one vector per extra queue (irq + q, MSI-X style)."""
+    irq0 = _state.pdev.irq
+    for q in range(1, e1000_num_queues()):
+        def vector(_irq, dev_id, q=q):
+            return e1000_intr_queue(q)
+        err = linux.request_irq(irq0 + q, vector, "%s-q%d" % (DRV_NAME, q),
+                                _state.netdev)
+        if err:
+            e1000_free_extra_vectors()
+            return err
+        _state.extra_vectors.append(irq0 + q)
+    return 0
+
+
+def e1000_free_extra_vectors():
+    for irq in _state.extra_vectors:
+        linux.free_irq(irq, _state.netdev)
+    del _state.extra_vectors[:]
+
+
+def e1000_set_irq_affinity():
+    """Spread the per-queue vectors across CPUs (queue q -> q mod N).
+
+    The NAPI context for queue q is homed on the same CPU, so the whole
+    per-queue datapath -- hardirq, softirq poll, rx stack -- runs there.
+    """
+    ncpus = linux.num_online_cpus()
+    if ncpus <= 1:
+        return
+    irq0 = _state.pdev.irq
+    for q in range(e1000_num_queues()):
+        linux.irq_set_affinity(irq0 + q, q % ncpus)
+
+
 def e1000_free_irq(adapter):
+    e1000_free_extra_vectors()
     if _state.irq_requested:
         linux.free_irq(_state.pdev.irq, _state.netdev)
         _state.irq_requested = False
@@ -390,6 +455,14 @@ def e1000_setup_all_tx_resources(adapter):
     err = e1000_setup_tx_resources(adapter, adapter.tx_ring)
     if err:
         return err
+    for _q in range(1, e1000_num_queues()):
+        ring = e1000_tx_ring()
+        ring.count = E1000_DEFAULT_TXD
+        err = e1000_setup_tx_resources(adapter, ring)
+        if err:
+            e1000_free_all_tx_resources(adapter)
+            return err
+        _state.extra_tx_rings.append(ring)
     return 0
 
 
@@ -414,6 +487,14 @@ def e1000_setup_all_rx_resources(adapter):
     err = e1000_setup_rx_resources(adapter, adapter.rx_ring)
     if err:
         return err
+    for _q in range(1, e1000_num_queues()):
+        ring = e1000_rx_ring()
+        ring.count = E1000_DEFAULT_RXD
+        err = e1000_setup_rx_resources(adapter, ring)
+        if err:
+            e1000_free_all_rx_resources(adapter)
+            return err
+        _state.extra_rx_rings.append(ring)
     return 0
 
 
@@ -436,6 +517,9 @@ def e1000_setup_rx_resources(adapter, rx_ring):
 
 def e1000_free_all_tx_resources(adapter):
     e1000_free_tx_resources(adapter, adapter.tx_ring)
+    for ring in _state.extra_tx_rings:
+        e1000_free_tx_resources(adapter, ring)
+    del _state.extra_tx_rings[:]
 
 
 def e1000_free_tx_resources(adapter, tx_ring):
@@ -449,6 +533,9 @@ def e1000_free_tx_resources(adapter, tx_ring):
 
 def e1000_free_all_rx_resources(adapter):
     e1000_free_rx_resources(adapter, adapter.rx_ring)
+    for ring in _state.extra_rx_rings:
+        e1000_free_rx_resources(adapter, ring)
+    del _state.extra_rx_rings[:]
 
 
 def e1000_free_rx_resources(adapter, rx_ring):
@@ -465,37 +552,69 @@ def e1000_free_rx_resources(adapter, rx_ring):
 # ---------------------------------------------------------------------------
 
 def e1000_napi_up(netdev):
-    """Create/enable the NAPI context (shared with the decaf nucleus)."""
+    """Create/enable the NAPI contexts (shared with the decaf nucleus).
+
+    One context per queue; on an SMP kernel each is homed on the CPU
+    its vector is affine to, so queue q's poll runs from CPU q mod N's
+    softirq and the rx stack cost lands on that CPU.
+    """
     if not napi_mode:
         return
+    ncpus = linux.num_online_cpus()
     if _state.napi is None:
-        _state.napi = linux.netif_napi_add(netdev, e1000_poll,
-                                           weight=E1000_NAPI_WEIGHT)
+        _state.napi = linux.netif_napi_add(
+            netdev, e1000_poll, weight=E1000_NAPI_WEIGHT,
+            cpu=0 if ncpus > 1 else None)
     linux.napi_enable(_state.napi)
+    for q in range(1, e1000_num_queues()):
+        if q - 1 >= len(_state.extra_napis):
+            napi = linux.netif_napi_add(
+                netdev, e1000_poll, weight=E1000_NAPI_WEIGHT,
+                irq=netdev.irq + q,
+                cpu=(q % ncpus) if ncpus > 1 else None)
+            napi.queue = q
+            _state.extra_napis.append(napi)
+        linux.napi_enable(_state.extra_napis[q - 1])
 
 
 def e1000_napi_down():
     if _state.napi is not None:
         linux.napi_disable(_state.napi)
+    for napi in _state.extra_napis:
+        linux.napi_disable(napi)
 
 
 def e1000_napi_del():
-    if _state.napi is not None:
-        linux.napi_disable(_state.napi)
-        _state.napi = None
+    e1000_napi_down()
+    _state.napi = None
+    del _state.extra_napis[:]
 
 
 def e1000_up(adapter):
     e1000_configure(adapter)
     e1000_napi_up(_state.netdev)
     E1000_WRITE_REG(adapter.hw, e1000_hw.IMS, e1000_hw.E1000_IMS_ENABLE_MASK)
+    e1000_irq_enable_extra(adapter)
     linux.mod_timer(_state.watchdog_timer, 2000)
     linux.netif_start_queue(_state.netdev)
     return 0
 
 
+def e1000_irq_enable_extra(adapter):
+    for q in range(1, e1000_num_queues()):
+        E1000_WRITE_REG(adapter.hw, e1000_hw.IMS + q * E1000_QUEUE_STRIDE,
+                        e1000_hw.E1000_IMS_ENABLE_MASK)
+
+
+def e1000_irq_disable_extra(adapter):
+    for q in range(1, e1000_num_queues()):
+        E1000_WRITE_REG(adapter.hw, e1000_hw.IMC + q * E1000_QUEUE_STRIDE,
+                        0xFFFFFFFF)
+
+
 def e1000_down(adapter):
     E1000_WRITE_REG(adapter.hw, e1000_hw.IMC, 0xFFFFFFFF)
+    e1000_irq_disable_extra(adapter)
     e1000_napi_down()
     linux.del_timer_sync(_state.watchdog_timer)
     linux.netif_stop_queue(_state.netdev)
@@ -522,6 +641,43 @@ def e1000_configure(adapter):
     e1000_setup_rctl(adapter)
     e1000_configure_rx(adapter)
     e1000_alloc_rx_buffers(adapter, adapter.rx_ring)
+    e1000_configure_extra_queues(adapter)
+
+
+def e1000_configure_extra_queues(adapter):
+    """Program the ring registers for queues >= 1 (strided layout).
+
+    Shared with the decaf nucleus: these rings are kernel-side state,
+    so the decaf driver's user half programs only queue 0 and the
+    nucleus calls this from ``k_up`` for the rest.
+    """
+    hw = adapter.hw
+    for q in range(1, e1000_num_queues()):
+        s = q * E1000_QUEUE_STRIDE
+        tx_ring = _state.extra_tx_rings[q - 1]
+        E1000_WRITE_REG(hw, e1000_hw.TDBAL + s,
+                        tx_ring.desc.dma_addr & 0xFFFFFFFF)
+        E1000_WRITE_REG(hw, e1000_hw.TDBAH + s, tx_ring.desc.dma_addr >> 32)
+        E1000_WRITE_REG(hw, e1000_hw.TDLEN + s,
+                        tx_ring.count * E1000_TX_DESC_SIZE)
+        E1000_WRITE_REG(hw, e1000_hw.TDH + s, 0)
+        E1000_WRITE_REG(hw, e1000_hw.TDT + s, 0)
+        tx_ring.tdh = 0
+        tx_ring.tdt = 0
+        rx_ring = _state.extra_rx_rings[q - 1]
+        E1000_WRITE_REG(hw, e1000_hw.RDBAL + s,
+                        rx_ring.desc.dma_addr & 0xFFFFFFFF)
+        E1000_WRITE_REG(hw, e1000_hw.RDBAH + s, rx_ring.desc.dma_addr >> 32)
+        E1000_WRITE_REG(hw, e1000_hw.RDLEN + s,
+                        rx_ring.count * E1000_RX_DESC_SIZE)
+        E1000_WRITE_REG(hw, e1000_hw.RDH + s, 0)
+        E1000_WRITE_REG(hw, e1000_hw.RDT + s, 0)
+        rx_ring.rdh = 0
+        rx_ring.rdt = 0
+        if napi_mode:
+            E1000_WRITE_REG(hw, e1000_hw.ITR + s,
+                            1_000_000_000 // (4000 * 256))
+        e1000_alloc_rx_buffers(adapter, rx_ring, queue=q)
 
 
 def e1000_configure_tx(adapter):
@@ -561,7 +717,7 @@ def e1000_configure_rx(adapter):
         E1000_WRITE_REG(hw, e1000_hw.ITR, 1_000_000_000 // (4000 * 256))
 
 
-def e1000_alloc_rx_buffers(adapter, rx_ring):
+def e1000_alloc_rx_buffers(adapter, rx_ring, queue=0):
     """Point every descriptor at its slot in the buffer region."""
     buf_dma = rx_ring.buffer_region.dma_addr
     for i in range(rx_ring.count):
@@ -570,18 +726,25 @@ def e1000_alloc_rx_buffers(adapter, rx_ring):
                             buf_dma + i * adapter.rx_buffer_len,
                             0, 0, 0, 0, 0)
     rx_ring.next_to_use = rx_ring.count - 1
-    E1000_WRITE_REG(adapter.hw, e1000_hw.RDT, rx_ring.count - 1)
+    E1000_WRITE_REG(adapter.hw, e1000_hw.RDT + queue * E1000_QUEUE_STRIDE,
+                    rx_ring.count - 1)
     rx_ring.rdt = rx_ring.count - 1
 
 
 def e1000_clean_all_tx_rings(adapter):
     adapter.tx_ring.next_to_use = 0
     adapter.tx_ring.next_to_clean = 0
+    for ring in _state.extra_tx_rings:
+        ring.next_to_use = 0
+        ring.next_to_clean = 0
 
 
 def e1000_clean_all_rx_rings(adapter):
     adapter.rx_ring.next_to_use = 0
     adapter.rx_ring.next_to_clean = 0
+    for ring in _state.extra_rx_rings:
+        ring.next_to_use = 0
+        ring.next_to_clean = 0
 
 
 # ---------------------------------------------------------------------------
@@ -654,7 +817,7 @@ def e1000_clean_tx_irq(adapter, tx_ring):
 # Receive path (stays in the kernel)
 # ---------------------------------------------------------------------------
 
-def e1000_clean_rx_irq(adapter, rx_ring, budget=None):
+def e1000_clean_rx_irq(adapter, rx_ring, budget=None, queue=0):
     """Clean received descriptors; at most ``budget`` under NAPI.
 
     The per-packet-interrupt path (``budget is None``) copies each frame
@@ -669,6 +832,7 @@ def e1000_clean_rx_irq(adapter, rx_ring, budget=None):
     rx_buffer_len = adapter.rx_buffer_len
     alloc_skb = linux.napi_alloc_skb
     receive_skb = linux.netif_receive_skb
+    rdt_reg = e1000_hw.RDT + queue * E1000_QUEUE_STRIDE
     cleaned = 0
     cleaned_bytes = 0
     i = rx_ring.next_to_clean
@@ -697,7 +861,7 @@ def e1000_clean_rx_irq(adapter, rx_ring, budget=None):
         # Return descriptors to the device in small batches.
         if cleaned % 16 == 0:
             rx_ring.rdt = (i - 1) % rx_ring.count
-            E1000_WRITE_REG(adapter.hw, e1000_hw.RDT, rx_ring.rdt)
+            E1000_WRITE_REG(adapter.hw, rdt_reg, rx_ring.rdt)
     rx_ring.next_to_clean = i
     if cleaned:
         adapter.net_stats.rx_packets += cleaned
@@ -705,7 +869,7 @@ def e1000_clean_rx_irq(adapter, rx_ring, budget=None):
         netdev.stats.rx_packets += cleaned
         netdev.stats.rx_bytes += cleaned_bytes
         rx_ring.rdt = (i - 1) % rx_ring.count
-        E1000_WRITE_REG(adapter.hw, e1000_hw.RDT, rx_ring.rdt)
+        E1000_WRITE_REG(adapter.hw, rdt_reg, rx_ring.rdt)
     return cleaned
 
 
@@ -741,16 +905,42 @@ def e1000_intr(irq, dev_id):
     return linux.IRQ_HANDLED
 
 
+def e1000_intr_queue(q):
+    """Per-queue vector (irq + q): reads queue q's ICR, runs its NAPI."""
+    adapter = _state.adapter
+    hw = adapter.hw
+    s = q * E1000_QUEUE_STRIDE
+    icr = E1000_READ_REG(hw, e1000_hw.ICR + s)
+    if not icr:
+        return linux.IRQ_NONE
+    if napi_mode and q - 1 < len(_state.extra_napis):
+        E1000_WRITE_REG(hw, e1000_hw.IMC + s, 0xFFFFFFFF)
+        linux.napi_schedule(_state.extra_napis[q - 1])
+        return linux.IRQ_HANDLED
+    if icr & (e1000_hw.E1000_ICR_RXT0 | e1000_hw.E1000_ICR_RXDMT0):
+        e1000_clean_rx_irq(adapter, _state.extra_rx_rings[q - 1], queue=q)
+    if icr & e1000_hw.E1000_ICR_TXDW:
+        e1000_clean_tx_irq(adapter, _state.extra_tx_rings[q - 1])
+    return linux.IRQ_HANDLED
+
+
 def e1000_poll(napi, budget):
     """NAPI poll: drain both rings, re-enable interrupts when caught up."""
     adapter = _state.adapter
-    e1000_clean_tx_irq(adapter, adapter.tx_ring)
-    work_done = e1000_clean_rx_irq(adapter, adapter.rx_ring, budget)
+    q = napi.queue
+    if q == 0:
+        tx_ring = adapter.tx_ring
+        rx_ring = adapter.rx_ring
+    else:
+        tx_ring = _state.extra_tx_rings[q - 1]
+        rx_ring = _state.extra_rx_rings[q - 1]
+    e1000_clean_tx_irq(adapter, tx_ring)
+    work_done = e1000_clean_rx_irq(adapter, rx_ring, budget, queue=q)
     if work_done < budget:
         linux.napi_complete(napi)
         # Re-enabling IMS re-fires immediately if causes latched in ICR
         # while we polled, so nothing is stranded in the ring.
-        E1000_WRITE_REG(adapter.hw, e1000_hw.IMS,
+        E1000_WRITE_REG(adapter.hw, e1000_hw.IMS + q * E1000_QUEUE_STRIDE,
                         e1000_hw.E1000_IMS_ENABLE_MASK)
     return work_done
 
@@ -915,13 +1105,14 @@ class E1000PciGlue:
                 and func.device_id in E1000_DEVICE_IDS)
 
 
-def make_module(napi=True):
+def make_module(napi=True, num_queues=1):
     from ..modulebase import LegacyDriverModule
     from . import e1000_ethtool, e1000_param
 
     def init_fn():
         # Runs after the module loader resets _state, before probe.
         set_napi_mode(napi)
+        set_num_queues(num_queues)
         return e1000_init_module()
 
     # e1000 spans several source files sharing one `linux` binding.

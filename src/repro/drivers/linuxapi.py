@@ -105,6 +105,12 @@ class LinuxApi:
     def enable_irq(self, irq):
         self.kernel.irq.enable_irq(irq)
 
+    def irq_set_affinity(self, irq, cpu):
+        return self.kernel.irq.set_affinity(irq, cpu)
+
+    def num_online_cpus(self):
+        return self.kernel.nr_cpus
+
     # -- locking ------------------------------------------------------------------------
 
     def spin_lock_init(self, name="lock"):
@@ -279,9 +285,10 @@ class LinuxApi:
 
     # -- NAPI -------------------------------------------------------------------------------------
 
-    def netif_napi_add(self, dev, poll, weight=64):
+    def netif_napi_add(self, dev, poll, weight=64, irq=None, cpu=None):
         return self.kernel.net.napi.register(
-            dev, poll, weight=weight, irq=dev.irq)
+            dev, poll, weight=weight,
+            irq=dev.irq if irq is None else irq, cpu=cpu)
 
     def napi_enable(self, napi):
         self.kernel.net.napi.enable(napi)
@@ -300,7 +307,14 @@ class LinuxApi:
 
     def napi_alloc_skb(self, size):
         """Zero-copy rx skb backed by the pooled DMA arena."""
-        pool = self.kernel.net.get_skb_pool()
+        net = self.kernel.net
+        if self.kernel.nr_cpus > 1:
+            # SMP: the shard depends on which CPU's softirq is polling,
+            # so dispatch per call (recycle-to-owner still holds via
+            # the skb's back-pointer to its arena).
+            self.napi_alloc_skb = net.alloc_rx_skb
+            return net.alloc_rx_skb(size)
+        pool = net.get_skb_pool()
         # Rebind to the pool's allocator so later calls on this instance
         # go straight to it -- this runs once per packet on the rx path.
         self.napi_alloc_skb = pool.alloc

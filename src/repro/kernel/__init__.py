@@ -10,7 +10,7 @@ init latency, and PCI / network / sound / USB / input subsystems.
 """
 
 from .context import ExecContext
-from .core import Kernel
+from .core import Kernel, MAX_CPUS, VCpu
 from .costs import CostModel, DEFAULT_COSTS
 from .errors import (
     ContextViolation,
@@ -50,14 +50,16 @@ from .usb import UsbCore, UsbDevice, UsbDeviceDescriptor, Urb
 from .vtime import NSEC_PER_MSEC, NSEC_PER_SEC, NSEC_PER_USEC, VirtualClock
 
 
-def make_kernel(costs=None, sound_use_mutex=False):
+def make_kernel(costs=None, sound_use_mutex=False, nr_cpus=1):
     """Build a kernel with all bus/class subsystems attached.
 
     ``sound_use_mutex`` selects the paper's modified sound library
     (mutexes instead of spinlocks around driver ops); the decaf driver
-    stack requires it.
+    stack requires it.  ``nr_cpus`` > 1 builds an SMP kernel: per-CPU
+    contexts/accounting/runqueues, CPU-targeted event dispatch, and
+    per-CPU NAPI softirqs (see ``repro.kernel.core.VCpu``).
     """
-    kernel = Kernel(costs=costs)
+    kernel = Kernel(costs=costs, nr_cpus=nr_cpus)
     kernel.pci = PciBus(kernel)
     kernel.net = NetworkCore(kernel)
     kernel.sound = SoundCore(kernel, use_mutex=sound_use_mutex)
@@ -68,6 +70,8 @@ def make_kernel(costs=None, sound_use_mutex=False):
 
 __all__ = [
     "Kernel",
+    "VCpu",
+    "MAX_CPUS",
     "make_kernel",
     "CostModel",
     "DEFAULT_COSTS",

@@ -36,13 +36,57 @@ LOG_LEVELS = {"debug": 0, "info": 1, "warn": 2, "err": 3}
 
 DEFAULT_LOG_CAPACITY = 1024
 
+#: Upper bound on simulated CPUs (matches the e1000 model's 8-queue cap).
+MAX_CPUS = 8
+
+
+class VCpu:
+    """One virtual CPU: execution context, accounting, busy window.
+
+    The simulator stays a single-threaded discrete-event loop; CPUs
+    "run in parallel" in virtual time.  A CPU-targeted event executes
+    with this CPU current, and the virtual time its callback charges is
+    *deferred*: instead of advancing the global clock it widens this
+    CPU's ``busy_until_ns`` window.  Later events targeted at the same
+    CPU are pushed past the window; events on other CPUs (or untargeted
+    ones) interleave freely inside it.  Two CPUs each doing 1 ms of
+    work in the same window therefore finish after ~1 ms of virtual
+    time, not 2 ms -- that is the whole point of SMP.
+    """
+
+    __slots__ = ("index", "context", "acct", "busy_until_ns",
+                 "_defer_depth", "_pending_charge_ns", "rq_lock",
+                 "softirq_lock")
+
+    def __init__(self, kernel, index):
+        self.index = index
+        self.context = ExecContext()
+        self.acct = CpuAccounting(kernel.clock)
+        self.busy_until_ns = 0
+        # >0 while a targeted event runs on this CPU: consume() defers.
+        self._defer_depth = 0
+        self._pending_charge_ns = 0
+        # Per-CPU scheduler locks.  Named per CPU so lockdep sees one
+        # class per lock ("cpu0/rq" != "cpu1/rq"): a cross-CPU AB/BA
+        # acquisition closes a cycle in the global order graph and is
+        # reported.  Created by Kernel.__init__ (needs the irq layer).
+        self.rq_lock = None
+        self.softirq_lock = None
+
 
 class Kernel:
-    def __init__(self, costs=None, log_capacity=DEFAULT_LOG_CAPACITY):
+    def __init__(self, costs=None, log_capacity=DEFAULT_LOG_CAPACITY,
+                 nr_cpus=1):
+        if not 1 <= nr_cpus <= MAX_CPUS:
+            raise SimulationError("nr_cpus must be 1..%d" % MAX_CPUS)
         self.costs = costs or CostModel()
         self.clock = VirtualClock()
+        # Aggregate accounting across all CPUs (what single-CPU code
+        # always charged); per-CPU accounting lives on each VCpu.
         self.cpu = CpuAccounting(self.clock)
-        self.context = ExecContext()
+        self.nr_cpus = nr_cpus
+        self.cpus = [VCpu(self, i) for i in range(nr_cpus)]
+        self.current_cpu = self.cpus[0]
         self.events = EventQueue(self.clock)
         self.irq = IrqController(self)
         self.memory = MemoryManager(self)
@@ -78,6 +122,22 @@ class Kernel:
         # context, like work preempted by an interrupt.
         self._parked_process_events = deque()
 
+        # Per-CPU scheduler locks (distinct lockdep classes per CPU);
+        # only taken around dispatch bookkeeping when nr_cpus > 1, so
+        # single-CPU rigs keep the exact classic event path.
+        if nr_cpus > 1:
+            from .locks import SpinLock
+
+            for vcpu in self.cpus:
+                vcpu.rq_lock = SpinLock(self, "cpu%d/rq" % vcpu.index)
+                vcpu.softirq_lock = SpinLock(
+                    self, "cpu%d/softirq" % vcpu.index)
+
+    @property
+    def context(self):
+        """Execution context of the CPU the kernel is running on."""
+        return self.current_cpu.context
+
     # -- lockdep ---------------------------------------------------------------
 
     def enable_lockdep(self):
@@ -86,7 +146,8 @@ class Kernel:
             from .locks import LockDep
 
             self.lockdep = LockDep(self)
-            self.context.lockdep = self.lockdep
+            for vcpu in self.cpus:
+                vcpu.context.lockdep = self.lockdep
         return self.lockdep
 
     # -- logging (printk) ----------------------------------------------------
@@ -139,13 +200,14 @@ class Kernel:
         pop_due = self.events.pop_due
         dispatch = self._dispatch_event
         parked = self._parked_process_events
-        in_atomic = self.context.in_atomic
         try:
             while True:
                 # Work parked by an atomic-context advance runs as soon
                 # as any advance finds the CPU schedulable again, before
-                # later-timed events (it was due first).
-                if parked and not in_atomic():
+                # later-timed events (it was due first).  The atomicity
+                # check is against the *current* CPU -- dispatching a
+                # targeted event may have switched it.
+                if parked and not self.current_cpu.context.in_atomic():
                     dispatch(parked.popleft())
                     continue
                 ev = pop_due(target_ns)
@@ -171,20 +233,27 @@ class Kernel:
         self.run_for_ns(int(seconds * NSEC_PER_SEC))
 
     def _dispatch_event(self, ev):
+        if ev.cpu is not None and self.nr_cpus > 1:
+            self._dispatch_on_cpu(ev)
+            return
+        self._run_event(ev)
+
+    def _run_event(self, ev):
+        context = self.current_cpu.context
         if ev.context == HARDIRQ:
-            self.context.enter_irq()
+            context.enter_irq()
             try:
                 ev.callback()
             finally:
-                self.context.exit_irq()
+                context.exit_irq()
         elif ev.context == SOFTIRQ:
-            self.context.enter_softirq()
+            context.enter_softirq()
             try:
                 ev.callback()
             finally:
-                self.context.exit_softirq()
+                context.exit_softirq()
         else:
-            if ev.needs_sched and self.context.in_atomic():
+            if ev.needs_sched and context.in_atomic():
                 # A work item came due inside a nested advance while
                 # the CPU is in interrupt context or holds a spinlock.
                 # Running it here would let sleeping work execute
@@ -193,17 +262,67 @@ class Kernel:
                 return
             ev.callback()
 
+    def _dispatch_on_cpu(self, ev):
+        """Run a CPU-targeted event with deferred time charging.
+
+        If the target CPU's busy window is still open the event is
+        re-queued at the window's close (it keeps its sequence number,
+        so ties stay FIFO).  Otherwise the event runs with the target
+        CPU current; virtual time its callback consumes is accumulated
+        and becomes the CPU's next busy window instead of advancing the
+        global clock, letting other CPUs' events overlap it.
+        """
+        vcpu = self.cpus[ev.cpu % self.nr_cpus]
+        now = self.clock._now_ns
+        if vcpu.busy_until_ns > now:
+            self.events.requeue(ev, vcpu.busy_until_ns)
+            return
+        prev = self.current_cpu
+        self.current_cpu = vcpu
+        rq = vcpu.rq_lock
+        if rq is not None and vcpu._defer_depth == 0:
+            # Touch the runqueue under its lock (distinct lockdep class
+            # per CPU); released before the callback so driver locks
+            # never order against scheduler internals.
+            rq.lock()
+            rq.unlock()
+        vcpu._defer_depth += 1
+        try:
+            self._run_event(ev)
+        finally:
+            vcpu._defer_depth -= 1
+            if vcpu._defer_depth == 0 and vcpu._pending_charge_ns:
+                vcpu.busy_until_ns = \
+                    self.clock._now_ns + vcpu._pending_charge_ns
+                vcpu._pending_charge_ns = 0
+            self.current_cpu = prev
+
     # -- cost charging ------------------------------------------------------------
+
+    def charge(self, ns, category="kernel"):
+        """Charge CPU time to the aggregate and the current CPU.
+
+        Does not advance the clock (see :meth:`consume` for that).
+        """
+        self.cpu.charge(ns, category)
+        self.current_cpu.acct.charge(ns, category)
 
     def consume(self, ns, busy=True, category="kernel"):
         """Advance the clock by ``ns`` of work, firing events that come due.
 
         ``busy=True`` additionally charges CPU time (utilization).
+        Inside a CPU-targeted event the advance is deferred into the
+        CPU's busy window instead (other CPUs run in parallel there).
         """
         if ns < 0:
             raise SimulationError("negative time consumption")
+        cur = self.current_cpu
         if busy:
             self.cpu.charge(ns, category)
+            cur.acct.charge(ns, category)
+        if cur._defer_depth:
+            cur._pending_charge_ns += ns
+            return
         self.run_until(self.clock.now_ns + ns)
 
     # -- delays (Linux API names) ----------------------------------------------

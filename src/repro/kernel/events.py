@@ -20,10 +20,10 @@ class Event:
     """A scheduled callback; cancellable, single-shot."""
 
     __slots__ = ("time_ns", "seq", "callback", "context", "name", "cancelled",
-                 "wheel", "needs_sched")
+                 "wheel", "needs_sched", "cpu")
 
     def __init__(self, time_ns, seq, callback, context, name,
-                 needs_sched=False):
+                 needs_sched=False, cpu=None):
         self.time_ns = time_ns
         self.seq = seq
         self.callback = callback
@@ -37,6 +37,10 @@ class Event:
         # deliveries, workload pacing) are environmental and fire on
         # time regardless of what the CPU is doing.
         self.needs_sched = needs_sched
+        # Target virtual CPU index, or None for "wherever the clock is"
+        # (classic single-CPU semantics).  A targeted event waits for
+        # its CPU's busy window to close before dispatch.
+        self.cpu = cpu
 
     def cancel(self):
         self.cancelled = True
@@ -164,22 +168,34 @@ class EventQueue:
             time_ns = self._clock.now_ns
         return Event(time_ns, next(self._seq), callback, context, name)
 
-    def schedule_at(self, time_ns, callback, context=PROCESS, name="event"):
+    def schedule_at(self, time_ns, callback, context=PROCESS, name="event",
+                    cpu=None):
         ev = self._make_event(time_ns, callback, context, name)
+        ev.cpu = cpu
         heapq.heappush(self._heap, ev)
         return ev
 
     def schedule_after(self, delay_ns, callback, context=PROCESS, name="event",
-                       needs_sched=False):
+                       needs_sched=False, cpu=None):
         # Inlined _make_event: this is the per-packet scheduling path.
         if context not in _VALID_CONTEXTS:
             raise SimulationError("unknown event context %r" % (context,))
         now = self._clock.now_ns
         ev = Event(now + delay_ns if delay_ns > 0 else now,
                    next(self._seq), callback, context, name,
-                   needs_sched=needs_sched)
+                   needs_sched=needs_sched, cpu=cpu)
         heapq.heappush(self._heap, ev)
         return ev
+
+    def requeue(self, ev, time_ns):
+        """Push a popped event back, re-timed (SMP busy-window deferral).
+
+        The event keeps its original sequence number, so among events
+        re-landing at the same instant the earliest-scheduled still runs
+        first -- deterministic round-robin across busy CPUs.
+        """
+        ev.time_ns = time_ns
+        heapq.heappush(self._heap, ev)
 
     def schedule_timer_at(self, time_ns, callback, context=PROCESS,
                           name="timer"):

@@ -68,7 +68,7 @@ class SerioPort:
         if not self.opened or self.driver_interrupt is None:
             return
         kernel = self._kernel
-        kernel.cpu.charge(kernel.costs.irq_entry_ns, "irq")
+        kernel.charge(kernel.costs.irq_entry_ns, "irq")
         tracer = kernel.tracer
         entry_ns = kernel.clock.now_ns if tracer is not None else 0
         kernel.context.enter_irq()

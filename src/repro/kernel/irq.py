@@ -32,6 +32,10 @@ class IrqController:
         self._lines = [_IrqLine(i) for i in range(nr_irqs)]
         self._local_disable_depth = 0
         self._local_pending = set()
+        # MSI-X-style affinity: irq number -> target CPU index.  Only
+        # meaningful on a multi-CPU kernel; affinitized lines deliver
+        # via a CPU-targeted hardirq event instead of synchronously.
+        self._affinity = {}
         self.delivered = 0
         self.spurious = 0
 
@@ -72,7 +76,7 @@ class IrqController:
         line.disable_depth -= 1
         if line.disable_depth == 0 and line.pending:
             line.pending = False
-            self._dispatch(line)
+            self.raise_irq(line.number)
 
     def irq_disabled(self, irq):
         return self._line(irq).disable_depth > 0
@@ -93,16 +97,61 @@ class IrqController:
             self._local_pending.clear()
             for irq in pending:
                 line = self._line(irq)
-                if line.disable_depth == 0:
-                    self._dispatch(line)
-                else:
+                if line.disable_depth != 0:
                     line.pending = True
+                elif irq in self._affinity and self._kernel.nr_cpus > 1:
+                    self.raise_irq(irq)
+                else:
+                    self._dispatch(line)
+
+    # -- affinity (MSI-X style) ----------------------------------------------
+
+    def set_affinity(self, irq, cpu):
+        """Steer a line's delivery to one CPU (``irq_set_affinity``).
+
+        On a single-CPU kernel this is recorded but delivery stays the
+        classic synchronous dispatch.
+        """
+        kernel = self._kernel
+        if not 0 <= cpu < kernel.nr_cpus:
+            raise SimulationError(
+                "irq %d affinity to nonexistent cpu %d" % (irq, cpu))
+        self._line(irq)  # validate the number
+        self._affinity[irq] = cpu
+
+    def affinity_of(self, irq):
+        return self._affinity.get(irq)
+
+    def _deliver_affine(self, line):
+        """Fire an affinitized interrupt on its target CPU.
+
+        Runs as a CPU-targeted event; masks are re-checked at dispatch
+        time because the line (or local interrupts) may have been
+        disabled between assert and delivery.
+        """
+        if self._local_disable_depth > 0:
+            self._local_pending.add(line.number)
+            return
+        if line.disable_depth > 0:
+            line.pending = True
+            return
+        self._dispatch(line)
 
     # -- device API ----------------------------------------------------------
 
     def raise_irq(self, irq):
         """A device asserts its interrupt line."""
         line = self._line(irq)
+        kernel = self._kernel
+        cpu = self._affinity.get(irq)
+        if cpu is not None and kernel.nr_cpus > 1:
+            # Cross-CPU delivery: post a targeted event; the handler
+            # runs on the affinity CPU (context entry happens inside
+            # _dispatch, so the event itself is a plain carrier).
+            kernel.events.schedule_after(
+                0, lambda line=line: self._deliver_affine(line),
+                name="irq%d-affine" % irq, cpu=cpu)
+            return
         if self._local_disable_depth > 0:
             self._local_pending.add(irq)
             return
@@ -115,7 +164,7 @@ class IrqController:
 
     def _dispatch(self, line):
         kernel = self._kernel
-        kernel.cpu.charge(kernel.costs.irq_entry_ns, "irq")
+        kernel.charge(kernel.costs.irq_entry_ns, "irq")
         tracer = kernel.tracer
         if line.handler is None:
             self.spurious += 1

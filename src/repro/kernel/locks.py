@@ -64,10 +64,23 @@ class LockDep:
         self._kernel = kernel
         self.reports = []
         self.checks = 0
-        self._held = []          # locks currently held, acquisition order
+        # Held-lock stacks are per CPU (a lock held on cpu0 must not
+        # order against an acquisition on cpu1), but the order graph
+        # and usage table are global: opposite acquisition orders on
+        # two different CPUs close a cycle and are reported.
+        self._held_per_cpu = {}  # cpu index -> [locks], acquisition order
         self._edges = {}         # lock name -> set of names acquired under it
         self._usage = {}         # lock name -> set of usage flags
         self._seen = set()       # dedup keys of reported violations
+
+    @property
+    def _held(self):
+        """Held locks of the CPU the kernel is currently running on."""
+        cpu = self._kernel.current_cpu.index
+        held = self._held_per_cpu.get(cpu)
+        if held is None:
+            held = self._held_per_cpu[cpu] = []
+        return held
 
     # -- reporting ---------------------------------------------------------
 
@@ -289,7 +302,7 @@ class Mutex:
                 "mutex %r acquired while already held (single-thread self-deadlock)"
                 % self.name
             )
-        self._kernel.cpu.charge(self._kernel.costs.kmalloc_ns, "locking")
+        self._kernel.charge(self._kernel.costs.kmalloc_ns, "locking")
         self._held = True
         self.acquisitions += 1
         if lockdep is not None:

@@ -96,7 +96,7 @@ class MemoryManager:
             return None
         if self._used + size > self._total:
             return None
-        self._kernel.cpu.charge(self._kernel.costs.kmalloc_ns, "mm")
+        self._kernel.charge(self._kernel.costs.kmalloc_ns, "mm")
         addr = next(self._addr)
         alloc = Allocation(addr, size, owner, flags)
         self._live[addr] = alloc
@@ -121,7 +121,7 @@ class MemoryManager:
         self._kernel.context.might_sleep("dma_alloc_coherent")
         if self._should_fail(size, owner):
             return None
-        self._kernel.cpu.charge(self._kernel.costs.kmalloc_ns * 4, "mm")
+        self._kernel.charge(self._kernel.costs.kmalloc_ns * 4, "mm")
         dma_addr = self._next_dma
         # Keep regions 4 KiB-aligned and non-overlapping.
         self._next_dma += (size + 0xFFF) & ~0xFFF

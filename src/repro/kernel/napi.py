@@ -31,12 +31,19 @@ from .errors import SimulationError
 class NapiStruct:
     """Per-driver NAPI context; mirrors ``struct napi_struct``."""
 
-    def __init__(self, core, dev, poll, weight=64, irq=None, name=None):
+    def __init__(self, core, dev, poll, weight=64, irq=None, name=None,
+                 cpu=None):
         self._core = core
         self.dev = dev
         self.poll = poll
         self.weight = weight
         self.irq = irq
+        # Home CPU (irq affinity): on a multi-CPU kernel this context
+        # polls from that CPU's softirq; None = classic shared list.
+        self.cpu = cpu
+        # Driver-private queue index (multi-queue NICs tag their
+        # per-queue contexts; single-queue drivers leave it 0).
+        self.queue = 0
         self.name = name or getattr(dev, "name", "napi")
         self.scheduled = False
         self.disabled = True  # drivers must napi_enable() before use
@@ -64,9 +71,11 @@ class NapiCore:
         self._kernel = kernel
         self._net = net
         self.budget = self.DEFAULT_BUDGET
-        self._list = deque()
-        self._softirq_pending = False
-        self._running = False
+        # Poll lists keyed by CPU index; None is the classic shared
+        # list (single-CPU kernels and non-affine contexts).
+        self._lists = {None: deque()}
+        self._softirq_pending = set()
+        self._running = set()
         # Counters (global, across all contexts).
         self.polls = 0
         self.work_total = 0
@@ -75,17 +84,33 @@ class NapiCore:
         self.schedules = 0
         self.packets_per_poll = {}  # work_done -> count
 
+    @property
+    def _list(self):
+        """The classic shared poll list (single-CPU compatibility)."""
+        return self._lists[None]
+
+    def _key_for(self, napi):
+        """Which poll list a context belongs to right now."""
+        if napi.cpu is not None and self._kernel.nr_cpus > 1:
+            return napi.cpu
+        return None
+
     # -- driver API ----------------------------------------------------------
 
-    def register(self, dev, poll, weight=64, irq=None, name=None):
+    def register(self, dev, poll, weight=64, irq=None, name=None, cpu=None):
         """``netif_napi_add``: create a context (still disabled).
 
-        Also ensures the shared zero-copy skb pool exists; this runs from
-        the driver's open path in process context, where the pool's DMA
+        Also ensures the zero-copy skb pool exists (the per-CPU shard
+        for affine contexts on an SMP kernel); this runs from the
+        driver's open path in process context, where the pool's DMA
         arena may legally be allocated (``dma_alloc_coherent`` sleeps).
         """
-        self._net.get_skb_pool()
-        return NapiStruct(self, dev, poll, weight=weight, irq=irq, name=name)
+        if cpu is not None and self._kernel.nr_cpus > 1:
+            self._net.get_skb_pool(cpu)
+        else:
+            self._net.get_skb_pool()
+        return NapiStruct(self, dev, poll, weight=weight, irq=irq, name=name,
+                          cpu=cpu)
 
     def enable(self, napi):
         napi.disabled = False
@@ -94,10 +119,11 @@ class NapiCore:
         """``napi_disable``: unschedule and unmask; poll will not run."""
         napi.disabled = True
         napi.scheduled = False
-        try:
-            self._list.remove(napi)
-        except ValueError:
-            pass
+        for lst in self._lists.values():
+            try:
+                lst.remove(napi)
+            except ValueError:
+                pass
         self._unmask(napi)
 
     def schedule(self, napi):
@@ -118,9 +144,13 @@ class NapiCore:
         if napi.irq is not None:
             self._kernel.irq.disable_irq(napi.irq)
             napi._line_masked = True
-        if napi not in self._list:
-            self._list.append(napi)
-        self._raise_softirq()
+        key = self._key_for(napi)
+        lst = self._lists.get(key)
+        if lst is None:
+            lst = self._lists[key] = deque()
+        if napi not in lst:
+            lst.append(napi)
+        self._raise_softirq(key)
         return True
 
     def complete(self, napi):
@@ -137,33 +167,51 @@ class NapiCore:
 
     # -- softirq -------------------------------------------------------------
 
-    def _raise_softirq(self):
-        if self._softirq_pending or self._running:
+    def _raise_softirq(self, key=None):
+        """Raise the net-rx softirq for one CPU's poll list.
+
+        ``key`` is a CPU index (the softirq event is targeted there) or
+        None for the classic shared list.  One softirq per CPU can be
+        pending/running at a time -- per-CPU softirq state, like Linux.
+        """
+        if key in self._softirq_pending or key in self._running:
             return
-        self._softirq_pending = True
+        self._softirq_pending.add(key)
         self._kernel.events.schedule_after(
-            0, self._net_rx_action, context=SOFTIRQ, name="net-rx-softirq"
+            0, lambda key=key: self._net_rx_action(key),
+            context=SOFTIRQ, name="net-rx-softirq", cpu=key
         )
 
-    def _net_rx_action(self):
+    def _net_rx_action(self, key=None):
         """The budget loop (``net_rx_action`` in Linux)."""
-        self._softirq_pending = False
+        self._softirq_pending.discard(key)
         kernel = self._kernel
         if not kernel.context.in_softirq():
             raise SimulationError("net_rx_action outside softirq context")
+        lst = self._lists.get(key)
+        if lst is None:
+            return
+        if key is not None:
+            # Touch this CPU's softirq bookkeeping under its lock
+            # (distinct lockdep class per CPU); released before any
+            # driver poll runs.
+            sl = kernel.cpus[key].softirq_lock
+            if sl is not None:
+                sl.lock()
+                sl.unlock()
         self.softirq_runs += 1
-        kernel.cpu.charge(kernel.costs.softirq_ns, "softirq")
+        kernel.charge(kernel.costs.softirq_ns, "softirq")
         tracer = kernel.tracer
         run_start_ns = kernel.clock.now_ns if tracer is not None else 0
         polls_this_run = 0
         budget = self.budget
-        self._running = True
+        self._running.add(key)
         try:
-            while self._list:
+            while lst:
                 if budget <= 0:
                     self.budget_exhaustions += 1
                     break
-                napi = self._list.popleft()
+                napi = lst.popleft()
                 if napi.disabled or not napi.scheduled:
                     # Stale entry: disabled, or completed and re-queued
                     # by a latched IRQ firing inside napi_complete().
@@ -193,25 +241,25 @@ class NapiCore:
                 self.packets_per_poll[work] = \
                     self.packets_per_poll.get(work, 0) + 1
                 budget -= work
-                if napi.scheduled and napi not in self._list:
+                if napi.scheduled and napi not in lst:
                     # Did not complete: ring still has work; round-robin.
                     # (A latched IRQ inside complete() may have already
                     # re-queued it -- don't create a duplicate entry.)
-                    self._list.append(napi)
+                    lst.append(napi)
         finally:
-            self._running = False
+            self._running.discard(key)
         if tracer is not None:
             tracer.span("softirq.net_rx", run_start_ns,
                         {"polls": polls_this_run,
                          "work": self.budget - budget,
                          "budget_start": self.budget,
                          "budget_left": budget,
-                         "requeued": len(self._list)},
+                         "requeued": len(lst)},
                         cat="softirq")
-        if self._list:
+        if lst:
             # Out of budget with work pending: yield and re-raise, like
             # ksoftirqd punting to the next softirq iteration.
-            self._raise_softirq()
+            self._raise_softirq(key)
 
     # -- introspection -------------------------------------------------------
 

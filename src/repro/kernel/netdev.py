@@ -73,7 +73,8 @@ class SkbPool:
     bytearray-backed skb (counted as a miss).
     """
 
-    def __init__(self, kernel, buf_size=2048, count=256, owner="skb-pool"):
+    def __init__(self, kernel, buf_size=2048, count=256, owner="skb-pool",
+                 fallback=None):
         self._kernel = kernel
         self.buf_size = buf_size
         self.count = count
@@ -86,6 +87,11 @@ class SkbPool:
         # loop allocates nothing per packet.  The header is only rebuilt
         # when the requested length differs from the slot's last use.
         self._skbs = [None] * count
+        # Per-CPU shards chain to the shared pool: exhaustion falls
+        # back there instead of going straight to a private bytearray.
+        # A fallback-allocated skb carries the *fallback's* `_pool`, so
+        # recycle always returns a slot to the arena that owns it.
+        self.fallback = fallback
         self.hits = 0
         self.misses = 0
         self.recycles = 0
@@ -105,6 +111,8 @@ class SkbPool:
             skb._slot = slot
             return skb
         self.misses += 1
+        if self.fallback is not None:
+            return self.fallback.alloc(length, protocol)
         return SkBuff(memoryview(bytearray(length)), protocol)
 
     def free(self, slot):
@@ -206,20 +214,59 @@ class NetworkCore:
         self.stack_rx_bytes = 0
         self.napi = NapiCore(kernel, self)
         self.skb_pool = None  # created lazily at first netif_napi_add
+        self.cpu_skb_pools = {}  # cpu index -> per-CPU SkbPool shard
         self._rx_batch_packets = 0
         self._rx_batch_bytes = 0
 
-    def get_skb_pool(self):
-        """The shared zero-copy rx pool; allocated on first use.
+    def get_skb_pool(self, cpu=None):
+        """The zero-copy rx pool; allocated on first use.
 
         Lazy so that non-NAPI configurations (the per-packet-IRQ
         ablation, non-network tests) never pay for the DMA arena.  Must
         first be called from process context (the arena allocation may
         sleep); NAPI registration guarantees that.
+
+        ``cpu`` selects that CPU's arena shard (created on demand, with
+        the shared pool as exhaustion fallback) so the rx hot path
+        allocates from CPU-local memory and recycles to the owning
+        arena -- buffers never bounce between CPUs.
         """
         if self.skb_pool is None:
             self.skb_pool = SkbPool(self._kernel)
-        return self.skb_pool
+        if cpu is None:
+            return self.skb_pool
+        pool = self.cpu_skb_pools.get(cpu)
+        if pool is None:
+            pool = self.cpu_skb_pools[cpu] = SkbPool(
+                self._kernel, owner="skb-pool-cpu%d" % cpu,
+                fallback=self.skb_pool)
+        return pool
+
+    def alloc_rx_skb(self, length, protocol=0x0800):
+        """Allocate an rx skb from the current CPU's pool shard.
+
+        On a single-CPU kernel this is the shared pool (callers on the
+        hot path bind ``pool.alloc`` directly instead); on SMP it is
+        the shard of whichever CPU the caller's softirq runs on.
+        """
+        kernel = self._kernel
+        if kernel.nr_cpus > 1:
+            return self.get_skb_pool(kernel.current_cpu.index).alloc(
+                length, protocol)
+        return self.get_skb_pool().alloc(length, protocol)
+
+    def skb_pool_stats(self):
+        """Aggregate + per-CPU pool counters for result reporting."""
+        pools = [("shared", self.skb_pool)] + [
+            ("cpu%d" % cpu, pool)
+            for cpu, pool in sorted(self.cpu_skb_pools.items())
+        ]
+        out = {}
+        for label, pool in pools:
+            if pool is not None:
+                out[label] = {"hits": pool.hits, "misses": pool.misses,
+                              "recycles": pool.recycles}
+        return out
 
     @property
     def devices(self):

@@ -145,7 +145,7 @@ class SoundCore:
         """Register one mixer control (ALSA's snd_ctl_add)."""
         if name in card.controls:
             return -EBUSY
-        self._kernel.cpu.charge(self._kernel.costs.kmalloc_ns, "snd-ctl")
+        self._kernel.charge(self._kernel.costs.kmalloc_ns, "snd-ctl")
         card.controls.append(name)
         return 0
 

@@ -90,7 +90,7 @@ class WorkItem:
             self._queue._pending.discard(self)
             self._queue = None
         self.executed += 1
-        self._kernel.cpu.charge(self._kernel.costs.context_switch_ns, "workqueue")
+        self._kernel.charge(self._kernel.costs.context_switch_ns, "workqueue")
         tracer = self._kernel.tracer
         if tracer is None:
             self.function(self.data)

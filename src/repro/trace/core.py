@@ -54,6 +54,7 @@ TRACEPOINTS = {
     "work.item": ("X", "workqueue item execution span"),
     # Locks
     "lock.held": ("X", "lock hold span (acquire to release)"),
+    "lockdep.report": ("i", "runtime lock validator recorded a violation"),
     # XPC (cat 'xpc' spans each pay one kernel/user crossing)
     "xpc.upcall": ("X", "kernel->user round trip"),
     "xpc.downcall": ("X", "user->kernel round trip"),
@@ -169,6 +170,7 @@ class Tracer:
             "cat": cat or name.split(".", 1)[0],
             "ph": "i",
             "ts": kernel.clock.now_ns,
+            "cpu": kernel.current_cpu.index,
             "ctx": kernel.context.current_context(),
             "locks": len(kernel.context._spinlocks_held),
             "args": args if args is not None else {},
@@ -192,6 +194,7 @@ class Tracer:
             "ph": "X",
             "ts": start_ns,
             "dur": now - start_ns,
+            "cpu": kernel.current_cpu.index,
             "ctx": ctx or kernel.context.current_context(),
             "locks": len(kernel.context._spinlocks_held),
             "args": args if args is not None else {},
@@ -253,6 +256,12 @@ class Tracer:
         m = self.metrics
         if cat == "xpc":
             m.inc("xpc.crossings|%s" % driver)
+            if self.kernel.nr_cpus > 1:
+                # Per-CPU crossing attribution: which CPU paid the
+                # kernel/user transition (SMP rigs only, so classic
+                # per-driver summaries keep their exact key set).
+                m.inc("xpc.crossings.cpu%d|%s"
+                      % (self.kernel.current_cpu.index, driver))
             self._hist_xpc_rt.record(self.kernel.clock.now_ns - start_ns)
         else:
             m.inc("xpc.lang_crossings|%s" % driver)

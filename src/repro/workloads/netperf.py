@@ -30,9 +30,7 @@ def _open_dev(rig):
 def _datapath_start(kernel):
     """Snapshot NAPI/skb-pool counters so a workload can report deltas."""
     snap = kernel.net.napi.snapshot()
-    pool = kernel.net.skb_pool
-    snap["_pool_hits"] = pool.hits if pool else 0
-    snap["_pool_misses"] = pool.misses if pool else 0
+    snap["_pools"] = kernel.net.skb_pool_stats()
     return snap
 
 
@@ -44,9 +42,19 @@ def _datapath_delta(kernel, start):
         delta = count - base_hist.get(bucket, 0)
         if delta:
             hist[bucket] = delta
-    pool = kernel.net.skb_pool
-    hits = (pool.hits if pool else 0) - start["_pool_hits"]
-    misses = (pool.misses if pool else 0) - start["_pool_misses"]
+    # Pool counters, per shard (the shared pool plus any per-CPU
+    # shards), plus the aggregate hit rate over all of them.
+    base_pools = start.get("_pools", {})
+    hits = misses = 0
+    per_pool = {}
+    for label, stats in kernel.net.skb_pool_stats().items():
+        base = base_pools.get(label, {})
+        h = stats["hits"] - base.get("hits", 0)
+        m = stats["misses"] - base.get("misses", 0)
+        hits += h
+        misses += m
+        if h or m:
+            per_pool[label] = h / (h + m)
     total = hits + misses
     return {
         "polls": snap["polls"] - start["polls"],
@@ -54,6 +62,7 @@ def _datapath_delta(kernel, start):
             snap["budget_exhaustions"] - start["budget_exhaustions"],
         "pkts_per_poll": hist,
         "pool_hit_rate": (hits / total) if total else 0.0,
+        "pool_cpu_hit_rates": per_pool,
     }
 
 
@@ -137,6 +146,7 @@ def netperf_send(rig, duration_s=2.0, msg_bytes=1500, trace=None):
         napi_budget_exhaustions=dp["budget_exhaustions"],
         napi_pkts_per_poll=dp["pkts_per_poll"],
         skb_pool_hit_rate=dp["pool_hit_rate"],
+        skb_pool_cpu_hit_rates=dp["pool_cpu_hit_rates"],
         faults_injected=f1[0] - f0[0],
         recoveries=f1[1] - f0[1],
         packets_lost=lost_packets + (f1[2] - f0[2]),
@@ -147,12 +157,14 @@ def netperf_send(rig, duration_s=2.0, msg_bytes=1500, trace=None):
 
 
 def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95,
-                 sink_extra=None, trace=None):
+                 sink_extra=None, trace=None, burst=1):
     """Receive from a remote generator at ~line rate.
 
     ``sink_extra(dev, skb)`` is called for every delivered packet while
     the skb's (possibly pooled, zero-copy) buffer is still valid --
     benchmarks use it to digest payloads without keeping references.
+    ``burst`` makes arrivals bursty (k frames back-to-back every k
+    intervals) at the same average rate.
     """
     from ..devices import TrafficGenerator
 
@@ -160,7 +172,7 @@ def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95,
     session = begin_trace(kernel, trace)
     dev = _open_dev(rig)
     generator = TrafficGenerator(kernel, rig.link, frame_bytes=msg_bytes,
-                                 utilization=utilization)
+                                 utilization=utilization, burst=burst)
 
     received = [0, 0]  # packets, bytes -- list beats dict in the hot sink
 
@@ -207,6 +219,7 @@ def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95,
         napi_budget_exhaustions=dp["budget_exhaustions"],
         napi_pkts_per_poll=dp["pkts_per_poll"],
         skb_pool_hit_rate=dp["pool_hit_rate"],
+        skb_pool_cpu_hit_rates=dp["pool_cpu_hit_rates"],
     )
     finish_trace(session, result)
     kernel.net.rx_sink = None
@@ -283,6 +296,7 @@ def netperf_udp_rr(rig, duration_s=1.0, msg_bytes=1, trace=None):
         napi_budget_exhaustions=dp["budget_exhaustions"],
         napi_pkts_per_poll=dp["pkts_per_poll"],
         skb_pool_hit_rate=dp["pool_hit_rate"],
+        skb_pool_cpu_hit_rates=dp["pool_cpu_hit_rates"],
         extra={"transactions": responses["count"]},
     )
     finish_trace(session, result)

@@ -27,6 +27,9 @@ class WorkloadResult:
     napi_budget_exhaustions: int = 0
     napi_pkts_per_poll: dict = field(default_factory=dict)
     skb_pool_hit_rate: float = 0.0
+    # Per-shard hit rates ({"shared": r, "cpu0": r, ...}) when the rx
+    # path ran on per-CPU pool shards; empty on single-CPU kernels.
+    skb_pool_cpu_hit_rates: dict = field(default_factory=dict)
     # Fault isolation / supervised recovery (zero when no faults were
     # injected or no supervisor was attached).
     faults_injected: int = 0
@@ -67,6 +70,10 @@ class WorkloadResult:
             "napi_budget_exhaustions": self.napi_budget_exhaustions,
             "napi_pkts_per_poll": self._pkts_per_poll_compact(),
             "skb_pool_hit_rate": round(self.skb_pool_hit_rate, 4),
+            "skb_pool_cpu_hit_rates": {
+                label: round(rate, 4)
+                for label, rate in sorted(self.skb_pool_cpu_hit_rates.items())
+            },
             "faults_injected": self.faults_injected,
             "recoveries": self.recoveries,
             "packets_lost": self.packets_lost,

@@ -110,13 +110,15 @@ class Rig:
                 sup.work_lost if sup else 0)
 
 
-def make_8139too_rig(decaf=False, irq_mode="napi"):
+def make_8139too_rig(decaf=False, irq_mode="napi", nr_cpus=1,
+                     rx_coalesce_ns=0):
     """``irq_mode="napi"`` (default) polls RX under a softirq budget;
-    ``irq_mode="irq"`` keeps the seed per-packet interrupt path."""
+    ``irq_mode="irq"`` keeps the seed per-packet interrupt path.
+    ``rx_coalesce_ns`` opens the device's interrupt-coalescing window."""
     napi = irq_mode == "napi"
-    kernel = make_kernel()
+    kernel = make_kernel(nr_cpus=nr_cpus)
     link = EthernetLink(kernel, bits_per_second=100_000_000, name="100M")
-    nic = Rtl8139Device(kernel, link)
+    nic = Rtl8139Device(kernel, link, rx_coalesce_ns=rx_coalesce_ns)
     kernel.pci.add_function(nic.pci)
     if decaf:
         from ..drivers.decaf import rtl8139_nucleus
@@ -129,31 +131,39 @@ def make_8139too_rig(decaf=False, irq_mode="napi"):
     return Rig("8139too", kernel, nic, module, decaf, link=link)
 
 
-def make_e1000_rig(decaf=False, options=None, irq_mode="napi"):
+def make_e1000_rig(decaf=False, options=None, irq_mode="napi", nr_cpus=1,
+                   num_queues=1, rx_pending_cap=256):
     """``irq_mode="napi"`` (default) polls RX under a softirq budget;
     ``irq_mode="irq"`` keeps the seed per-packet interrupt path and
-    disables the device's ITR window so every cause fires an IRQ."""
+    disables the device's ITR window so every cause fires an IRQ.
+    ``num_queues`` > 1 enables the multi-queue datapath: the device
+    RSS-steers flows across that many RX/TX queue pairs, and the driver
+    runs one NAPI context per queue, spread across the ``nr_cpus``
+    virtual CPUs by per-vector IRQ affinity."""
     napi = irq_mode == "napi"
-    kernel = make_kernel()
+    kernel = make_kernel(nr_cpus=nr_cpus)
     link = EthernetLink(kernel, bits_per_second=1_000_000_000, name="1G")
     nic = E1000Device(kernel, link,
-                      itr_window_ns=None if napi else 0)
+                      itr_window_ns=None if napi else 0,
+                      num_queues=num_queues,
+                      rx_pending_cap=rx_pending_cap)
     kernel.pci.add_function(nic.pci)
     if decaf:
         from ..drivers.decaf import e1000_nucleus
 
-        module = e1000_nucleus.make_module(options=options, napi=napi)
+        module = e1000_nucleus.make_module(options=options, napi=napi,
+                                           num_queues=num_queues)
     else:
         from ..drivers.legacy import e1000_main
 
-        module = e1000_main.make_module(napi=napi)
+        module = e1000_main.make_module(napi=napi, num_queues=num_queues)
     return Rig("e1000", kernel, nic, module, decaf, link=link)
 
 
-def make_ens1371_rig(decaf=False):
+def make_ens1371_rig(decaf=False, nr_cpus=1):
     # The decaf sound driver requires the mutex-based sound library
     # (paper section 3.1.3); the native driver runs on the stock one.
-    kernel = make_kernel(sound_use_mutex=decaf)
+    kernel = make_kernel(sound_use_mutex=decaf, nr_cpus=nr_cpus)
     card = Ens1371Device(kernel)
     kernel.pci.add_function(card.pci)
     if decaf:
@@ -167,8 +177,8 @@ def make_ens1371_rig(decaf=False):
     return Rig("ens1371", kernel, card, module, decaf)
 
 
-def make_uhci_rig(decaf=False):
-    kernel = make_kernel()
+def make_uhci_rig(decaf=False, nr_cpus=1):
+    kernel = make_kernel(nr_cpus=nr_cpus)
     controller = UhciDevice(kernel)
     disk = UsbFlashDiskModel()
     controller.attach(0, disk)
@@ -186,8 +196,8 @@ def make_uhci_rig(decaf=False):
                extra={"disk": disk})
 
 
-def make_psmouse_rig(decaf=False):
-    kernel = make_kernel()
+def make_psmouse_rig(decaf=False, nr_cpus=1):
+    kernel = make_kernel(nr_cpus=nr_cpus)
     port = kernel.input.new_serio_port()
     mouse = Ps2MouseDevice(kernel)
     mouse.attach(port)

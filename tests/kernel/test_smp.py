@@ -1,0 +1,195 @@
+"""SMP semantics: CPU-targeted events, busy windows, per-CPU
+accounting, IRQ affinity, and the per-CPU scheduler-lock lockdep
+classes (including the cross-CPU AB/BA canary)."""
+
+import pytest
+
+from repro.kernel import MAX_CPUS, make_kernel
+from repro.kernel.errors import SimulationError
+
+MS = 1_000_000
+
+
+@pytest.fixture
+def smp_kernel():
+    return make_kernel(nr_cpus=4)
+
+
+def test_nr_cpus_validation():
+    with pytest.raises(SimulationError):
+        make_kernel(nr_cpus=0)
+    with pytest.raises(SimulationError):
+        make_kernel(nr_cpus=MAX_CPUS + 1)
+    assert make_kernel(nr_cpus=1).nr_cpus == 1
+    assert len(make_kernel(nr_cpus=MAX_CPUS).cpus) == MAX_CPUS
+
+
+def test_single_cpu_consume_advances_clock(kernel):
+    """Classic semantics: on one CPU, consume inside an event advances
+    the global clock synchronously (no busy-window deferral)."""
+    seen = {}
+
+    def work():
+        kernel.consume(2 * MS, category="work")
+        seen["end_ns"] = kernel.clock.now_ns
+
+    kernel.events.schedule_after(0, work)
+    kernel.run_for_ms(5)
+    assert seen["end_ns"] == 2 * MS
+    assert kernel.cpus[0].acct.category_ns("work") == 2 * MS
+
+
+def test_targeted_events_overlap_in_virtual_time(smp_kernel):
+    """1 ms of work on each of 4 CPUs finishes after ~1 ms, not 4."""
+    kernel = smp_kernel
+    for cpu in range(4):
+        kernel.events.schedule_after(
+            0, lambda: kernel.consume(1 * MS, category="work"), cpu=cpu)
+    kernel.run_for_ms(3)
+    for vcpu in kernel.cpus:
+        assert vcpu.acct.category_ns("work") == 1 * MS
+        assert vcpu.busy_until_ns == 1 * MS
+    # Aggregate accounting still sees all 4 ms of charged work.
+    assert kernel.cpu.category_ns("work") == 4 * MS
+
+
+def test_same_cpu_events_serialize(smp_kernel):
+    """Two events targeted at one CPU run back-to-back: the second is
+    pushed past the first's busy window."""
+    kernel = smp_kernel
+    starts = []
+
+    def work():
+        starts.append(kernel.clock.now_ns)
+        kernel.consume(1 * MS, category="work")
+
+    kernel.events.schedule_after(0, work, cpu=2)
+    kernel.events.schedule_after(0, work, cpu=2)
+    kernel.run_for_ms(5)
+    assert starts == [0, 1 * MS]
+    assert kernel.cpus[2].busy_until_ns == 2 * MS
+
+
+def test_untargeted_events_keep_classic_semantics(smp_kernel):
+    """cpu=None events run on CPU 0 with a synchronous clock, even on
+    an SMP kernel (compat for all pre-SMP code paths)."""
+    kernel = smp_kernel
+    seen = {}
+
+    def work():
+        seen["cpu"] = kernel.current_cpu.index
+        kernel.consume(1 * MS)
+        seen["end_ns"] = kernel.clock.now_ns
+
+    kernel.events.schedule_after(0, work)
+    kernel.run_for_ms(3)
+    assert seen == {"cpu": 0, "end_ns": 1 * MS}
+
+
+def test_charge_lands_on_current_cpu(smp_kernel):
+    kernel = smp_kernel
+
+    def work():
+        kernel.charge(500, category="softirq")
+
+    kernel.events.schedule_after(0, work, cpu=3)
+    kernel.run_for_ms(1)
+    assert kernel.cpus[3].acct.category_ns("softirq") == 500
+    assert kernel.cpus[0].acct.category_ns("softirq") == 0
+    assert kernel.cpu.category_ns("softirq") == 500
+
+
+def test_irq_affinity_delivers_on_target_cpu(smp_kernel):
+    kernel = smp_kernel
+    seen = []
+
+    def handler(irq, dev_id):
+        seen.append(kernel.current_cpu.index)
+        return 1
+
+    kernel.request_irq(9, handler, "affine")
+    kernel.irq.set_affinity(9, 2)
+    assert kernel.irq.affinity_of(9) == 2
+    kernel.irq.raise_irq(9)
+    kernel.run_for_ms(1)
+    assert seen == [2]
+
+
+def test_smp_schedule_is_seed_reproducible():
+    """The same targeted schedule replayed on a fresh kernel produces
+    the identical interleaving and final clock."""
+
+    def run():
+        kernel = make_kernel(nr_cpus=4)
+        log = []
+
+        def work(cpu, i):
+            log.append((kernel.clock.now_ns, cpu, i))
+            kernel.consume((1 + (cpu + i) % 3) * 100_000)
+
+        for i in range(12):
+            cpu = (i * 5) % 4
+            kernel.events.schedule_after(
+                (i % 4) * 50_000, lambda c=cpu, i=i: work(c, i), cpu=cpu)
+        kernel.run_for_ms(10)
+        return log, kernel.clock.now_ns, [v.busy_until_ns
+                                          for v in kernel.cpus]
+
+    assert run() == run()
+
+
+# -- per-CPU scheduler locks under lockdep ---------------------------------
+
+
+def test_per_cpu_locks_are_distinct_classes(smp_kernel):
+    names = {v.rq_lock.name for v in smp_kernel.cpus}
+    names |= {v.softirq_lock.name for v in smp_kernel.cpus}
+    assert names == (
+        {"cpu%d/rq" % i for i in range(4)}
+        | {"cpu%d/softirq" % i for i in range(4)})
+
+
+def test_cross_cpu_ab_ba_reported(smp_kernel):
+    """The canary: taking cpu0/rq -> cpu1/rq on one CPU and
+    cpu1/rq -> cpu0/rq on another closes a cycle in the (global)
+    order graph even though each CPU's held stack never sees both
+    orders -- lockdep must report the inversion."""
+    kernel = smp_kernel
+    kernel.enable_lockdep()
+    a = kernel.cpus[0].rq_lock
+    b = kernel.cpus[1].rq_lock
+
+    def ab():
+        with a:
+            with b:
+                pass
+
+    def ba():
+        with b:
+            with a:
+                pass
+
+    kernel.events.schedule_after(0, ab, cpu=0)
+    kernel.events.schedule_after(100, ba, cpu=1)
+    kernel.run_for_ms(1)
+    reports = kernel.lockdep.by_kind("lock-order-inversion")
+    assert len(reports) == 1
+    assert "cpu0/rq" in reports[0].message
+    assert "cpu1/rq" in reports[0].message
+
+
+def test_parallel_holds_alone_are_clean(smp_kernel):
+    """Each CPU holding its own rq lock concurrently is not an
+    inversion -- held stacks are per CPU."""
+    kernel = smp_kernel
+    kernel.enable_lockdep()
+
+    def hold(i):
+        lock = kernel.cpus[i].rq_lock
+        with lock:
+            kernel.consume(100_000)
+
+    for i in range(4):
+        kernel.events.schedule_after(0, lambda i=i: hold(i), cpu=i)
+    kernel.run_for_ms(1)
+    assert not kernel.lockdep.reports
