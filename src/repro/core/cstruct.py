@@ -356,8 +356,8 @@ class CStruct(metaclass=CStructMeta):
     def c_addr(self):
         return self._c_addr
 
-    def __setattr__(self, name, value):
-        object.__setattr__(self, name, value)
+    def __setattr__(self, name, value, _oset=object.__setattr__):
+        _oset(self, name, value)
         if name[0] != "_":
             try:
                 self._dirty_fields.add(name)

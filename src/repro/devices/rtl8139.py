@@ -98,7 +98,14 @@ class Rtl8139Device:
         self._reset_state()
 
     def _reset_state(self):
-        self.regs = bytearray(256)
+        # The register file is cleared in place, never replaced: the
+        # fastpath compiler's reg_reader/reg_writer closures bind it by
+        # identity and must survive a chip reset.
+        regs = getattr(self, "regs", None)
+        if regs is None:
+            regs = self.regs = bytearray(256)
+        else:
+            regs[:] = bytes(256)
         self.regs[IDR0:IDR0 + 6] = self.mac
         self.regs[CR] = CR_BUFE
         self.regs[MSR] = 0x00  # link up (LINKB=0)
@@ -107,6 +114,11 @@ class Rtl8139Device:
         self._rx_read_off = 0
         self._rx_enabled = False
         self._tx_enabled = False
+        # RBSTART shadow + memoized dma_find result for the rx ring;
+        # invalidated whenever RBSTART is rewritten (and here, on
+        # reset).  Saves a linear DMA-region scan per received frame.
+        self._rbstart = 0
+        self._rx_dma = None
         # Drop any in-flight TX completions and their pump event.
         stale = getattr(self, "_tx_pump_event", None)
         if stale is not None:
@@ -135,9 +147,16 @@ class Rtl8139Device:
         struct.pack_into("<I", self.regs, off, val & 0xFFFFFFFF)
 
     def _assert_irq(self, bits):
-        self._set_reg16(ISR, self._reg16(ISR) | bits)
-        if not self._reg16(ISR) & self._reg16(IMR):
-            return
+        # Hot path (once per rx frame / tx batch): ISR |= bits and the
+        # IMR gate, as direct byte arithmetic on the register file.
+        regs = self.regs
+        isr = (regs[ISR] | regs[ISR + 1] << 8) | bits
+        regs[ISR] = isr & 0xFF
+        regs[ISR + 1] = isr >> 8
+        if isr & (regs[IMR] | regs[IMR + 1] << 8):
+            self._deliver_irq()
+
+    def _deliver_irq(self):
         window = self.rx_coalesce_ns
         if window <= 0:
             self._kernel.irq.raise_irq(self.irq)
@@ -163,34 +182,78 @@ class Rtl8139Device:
         if size == 1:
             return self.regs[offset]
         if size == 2:
-            return self._reg16(offset)
+            return self.regs[offset] | self.regs[offset + 1] << 8
         return self._reg32(offset)
 
     def write(self, offset, value, size):
+        regs = self.regs
         if offset == CR and size == 1:
             self._write_cr(value)
             return
         if offset == ISR and size == 2:
             # Write-1-to-clear.
-            self._set_reg16(ISR, self._reg16(ISR) & ~value)
+            isr = (regs[ISR] | regs[ISR + 1] << 8) & ~value
+            regs[ISR] = isr & 0xFF
+            regs[ISR + 1] = isr >> 8
             return
         if TSD0 <= offset < TSD0 + 4 * NUM_TX_DESC and size == 4:
             slot = (offset - TSD0) // 4
             self._write_tsd(slot, value)
             return
         if offset == CAPR and size == 2:
-            self._set_reg16(CAPR, value)
-            # The driver writes cur_rx - 16; the hardware's read pointer
-            # is therefore CAPR + 16.
-            self._rx_read_off = (value + 16) % RX_RING_SIZE
-            self.update_bufe()
+            self._write_capr(value)
             return
         if size == 1:
-            self.regs[offset] = value & 0xFF
+            regs[offset] = value & 0xFF
         elif size == 2:
             self._set_reg16(offset, value)
         else:
             self._set_reg32(offset, value)
+        if RBSTART <= offset < RBSTART + 4:
+            # Rx ring moved: refresh the shadow, drop the dma_find memo.
+            self._rbstart = self._reg32(RBSTART)
+            self._rx_dma = None
+
+    def _write_capr(self, value):
+        regs = self.regs
+        regs[CAPR] = value & 0xFF
+        regs[CAPR + 1] = value >> 8
+        # The driver writes cur_rx - 16; the hardware's read pointer
+        # is therefore CAPR + 16.
+        read_off = self._rx_read_off = (value + 16) % RX_RING_SIZE
+        if read_off == self._rx_write_off:
+            regs[CR] |= CR_BUFE
+        else:
+            regs[CR] &= ~CR_BUFE
+
+    # -- fastpath compiler hooks (kernel/fastpath.py) ---------------------------
+
+    def reg_reader(self, offset, size):
+        """Specialized accessor for a fixed register, or None.
+
+        Reads have no side effects on this chip, so any 1/2-byte read
+        compiles to plain byte loads from the (identity-stable)
+        register file.
+        """
+        regs = self.regs
+        if size == 1:
+            return lambda: regs[offset]
+        if size == 2:
+            return lambda: regs[offset] | regs[offset + 1] << 8
+        return None
+
+    def reg_writer(self, offset, size):
+        if offset == CAPR and size == 2:
+            return self._write_capr
+        if offset == IMR and size == 2:
+            regs = self.regs
+
+            def write_imr(value):
+                regs[IMR] = value & 0xFF
+                regs[IMR + 1] = value >> 8
+
+            return write_imr
+        return None
 
     # -- command register -------------------------------------------------------------
 
@@ -263,37 +326,67 @@ class Rtl8139Device:
     def _link_rx(self, frame):
         if not self._rx_enabled:
             return
-        addr = self._reg32(RBSTART)
-        region, base_off = self._kernel.memory.dma_find(addr)
-        if region is None:
-            return
+        dma = self._rx_dma
+        if dma is None or dma[0].freed:
+            region, base_off = self._kernel.memory.dma_find(self._rbstart)
+            if region is None:
+                return
+            dma = self._rx_dma = (region, base_off)
+        region, base_off = dma
+        flen = len(frame)
         # 4-byte header (status, length incl 4-byte CRC), then frame data,
         # dword aligned.
-        total = 4 + len(frame) + 4
-        total_aligned = (total + 3) & ~3
-        used = (self._rx_write_off - self._rx_read_off) % RX_RING_SIZE
+        total_aligned = (flen + 8 + 3) & ~3
+        off = self._rx_write_off
+        used = off - self._rx_read_off
+        if used < 0:
+            used += RX_RING_SIZE
         if used + total_aligned >= RX_RING_SIZE:
             self.rx_overflows += 1
             self._assert_irq(ISR_RXOVW)
             return
-        off = self._rx_write_off
-        header = struct.pack("<HH", RX_STAT_ROK, len(frame) + 4)
-        payload = header + frame + b"\x00\x00\x00\x00"
-        # At most two slice copies (wraparound), same byte layout as a
-        # per-byte modular write but without the per-byte Python loop.
-        first = min(len(payload), RX_RING_SIZE - off)
-        region.data[base_off + off:base_off + off + first] = payload[:first]
-        if first < len(payload):
-            rest = len(payload) - first
-            region.data[base_off:base_off + rest] = payload[first:]
-        self._rx_write_off = (off + total_aligned) % RX_RING_SIZE
-        self._set_reg16(CBR, self._rx_write_off)
-        self.regs[CR] &= ~CR_BUFE
-        self.frames_received += 1
-        self._assert_irq(ISR_ROK)
-
-    def update_bufe(self):
-        if self._rx_read_off == self._rx_write_off:
-            self.regs[CR] |= CR_BUFE
+        data = region.data
+        # Header written in place: `off` is dword-aligned and the ring
+        # size is a multiple of 4, so the header never wraps.
+        size_field = flen + 4
+        b = base_off + off
+        data[b] = RX_STAT_ROK & 0xFF
+        data[b + 1] = RX_STAT_ROK >> 8
+        data[b + 2] = size_field & 0xFF
+        data[b + 3] = size_field >> 8
+        # Frame then 4 pad bytes, each with at most one wraparound
+        # split: same byte layout as building header+frame+pad and
+        # copying it, without the per-frame concatenation.
+        start = off + 4
+        end = start + flen
+        if end <= RX_RING_SIZE:
+            data[base_off + start:base_off + end] = frame
+            z = end if end < RX_RING_SIZE else 0
         else:
-            self.regs[CR] &= ~CR_BUFE
+            split = RX_RING_SIZE - start
+            data[base_off + start:base_off + RX_RING_SIZE] = frame[:split]
+            z = flen - split
+            data[base_off:base_off + z] = frame[split:]
+        zend = z + 4
+        if zend <= RX_RING_SIZE:
+            data[base_off + z:base_off + zend] = b"\x00\x00\x00\x00"
+        else:
+            cut = RX_RING_SIZE - z
+            data[base_off + z:base_off + RX_RING_SIZE] = bytes(cut)
+            data[base_off:base_off + 4 - cut] = bytes(4 - cut)
+        w = off + total_aligned
+        if w >= RX_RING_SIZE:
+            w -= RX_RING_SIZE
+        self._rx_write_off = w
+        regs = self.regs
+        regs[CBR] = w & 0xFF
+        regs[CBR + 1] = w >> 8
+        regs[CR] &= ~CR_BUFE
+        self.frames_received += 1
+        # Inlined _assert_irq(ISR_ROK): the per-frame case.
+        isr = (regs[ISR] | regs[ISR + 1] << 8) | ISR_ROK
+        regs[ISR] = isr & 0xFF
+        regs[ISR + 1] = isr >> 8
+        if isr & (regs[IMR] | regs[IMR + 1] << 8):
+            self._deliver_irq()
+

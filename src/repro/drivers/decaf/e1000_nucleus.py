@@ -471,10 +471,11 @@ class _PciGlue:
                 and func.device_id in E1000_DEVICE_IDS)
 
 
-def make_module(options=None, napi=True, num_queues=1):
+def make_module(options=None, napi=True, num_queues=1, compiled=True):
     def setup(kernel):
         legacy.set_napi_mode(napi)
         legacy.set_num_queues(num_queues)
+        legacy.set_compiled_mode(compiled)
         nucleus = E1000Nucleus(kernel)
         nucleus.module_options = options
         return nucleus

@@ -155,6 +155,12 @@ class EventQueue:
         # ktrace hook, mirrored from Kernel.tracer by Tracer.install();
         # the queue has no kernel back-reference, so it keeps its own.
         self.tracer = None
+        # Lower bound on the next live event's time, shared with the
+        # fastpath accessors (kernel/fastpath.py): they advance the
+        # clock without a heap peek while target < memo[0].  Any insert
+        # resets it to -1 (unknown); removals only move the true next
+        # event later, so a stale bound stays conservative.
+        self.next_due_memo = [-1]
 
     def __len__(self):
         return sum(1 for ev in self._heap if not ev.cancelled) + \
@@ -173,6 +179,7 @@ class EventQueue:
         ev = self._make_event(time_ns, callback, context, name)
         ev.cpu = cpu
         heapq.heappush(self._heap, ev)
+        self.next_due_memo[0] = -1
         return ev
 
     def schedule_after(self, delay_ns, callback, context=PROCESS, name="event",
@@ -185,6 +192,7 @@ class EventQueue:
                    next(self._seq), callback, context, name,
                    needs_sched=needs_sched, cpu=cpu)
         heapq.heappush(self._heap, ev)
+        self.next_due_memo[0] = -1
         return ev
 
     def requeue(self, ev, time_ns):
@@ -196,12 +204,14 @@ class EventQueue:
         """
         ev.time_ns = time_ns
         heapq.heappush(self._heap, ev)
+        self.next_due_memo[0] = -1
 
     def schedule_timer_at(self, time_ns, callback, context=PROCESS,
                           name="timer"):
         """Like schedule_at, but on the wheel: cancel is O(1) and real."""
         ev = self._make_event(time_ns, callback, context, name)
         self._wheel.add(ev)
+        self.next_due_memo[0] = -1
         tracer = self.tracer
         if tracer is not None:
             tracer.instant("timer.arm", {"timer": name, "at_ns": ev.time_ns})

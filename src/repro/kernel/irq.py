@@ -58,6 +58,20 @@ class IrqController:
         line.name = name
         return 0
 
+    def rebind_irq(self, irq, handler):
+        """Swap a registered line's handler in place.
+
+        The line keeps its name, dev_id, masks, and pending state --
+        this is the hook a driver uses to install a specialized
+        (compiled) handler after setup, or restore the generic one
+        before teardown.  Raises if the line was never requested.
+        """
+        line = self._line(irq)
+        if line.handler is None:
+            raise SimulationError(
+                "rebind_irq(%d) on a free line" % irq)
+        line.handler = handler
+
     def free_irq(self, irq, dev_id=None):
         line = self._line(irq)
         line.handler = None
@@ -92,17 +106,20 @@ class IrqController:
         if self._local_disable_depth == 0:
             raise SimulationError("local_irq_enable without disable")
         self._local_disable_depth -= 1
-        if self._local_disable_depth == 0:
-            pending = sorted(self._local_pending)
-            self._local_pending.clear()
-            for irq in pending:
-                line = self._line(irq)
-                if line.disable_depth != 0:
-                    line.pending = True
-                elif irq in self._affinity and self._kernel.nr_cpus > 1:
-                    self.raise_irq(irq)
-                else:
-                    self._dispatch(line)
+        if self._local_disable_depth == 0 and self._local_pending:
+            self._deliver_local_pending()
+
+    def _deliver_local_pending(self):
+        pending = sorted(self._local_pending)
+        self._local_pending.clear()
+        for irq in pending:
+            line = self._line(irq)
+            if line.disable_depth != 0:
+                line.pending = True
+            elif irq in self._affinity and self._kernel.nr_cpus > 1:
+                self.raise_irq(irq)
+            else:
+                self._dispatch(line)
 
     # -- affinity (MSI-X style) ----------------------------------------------
 
@@ -141,9 +158,13 @@ class IrqController:
 
     def raise_irq(self, irq):
         """A device asserts its interrupt line."""
-        line = self._line(irq)
+        lines = self._lines
+        if 0 <= irq < len(lines):
+            line = lines[irq]
+        else:
+            raise SimulationError("bad irq number %d" % irq)
         kernel = self._kernel
-        cpu = self._affinity.get(irq)
+        cpu = self._affinity.get(irq) if self._affinity else None
         if cpu is not None and kernel.nr_cpus > 1:
             # Cross-CPU delivery: post a targeted event; the handler
             # runs on the affinity CPU (context entry happens inside
@@ -164,9 +185,22 @@ class IrqController:
 
     def _dispatch(self, line):
         kernel = self._kernel
-        kernel.charge(kernel.costs.irq_entry_ns, "irq")
+        entry_cost = kernel.costs.irq_entry_ns
+        cur = kernel.current_cpu
+        # Inlined charge(entry_cost, "irq") pair: this is the hottest
+        # fixed cost on the interrupt path, so the two method calls are
+        # traded for raw counter ops.
+        agg = kernel.cpu
+        agg._busy_ns += entry_cost
+        cat = agg._by_category
+        cat["irq"] = cat.get("irq", 0) + entry_cost
+        acct = cur.acct
+        acct._busy_ns += entry_cost
+        cat = acct._by_category
+        cat["irq"] = cat.get("irq", 0) + entry_cost
+        handler = line.handler
         tracer = kernel.tracer
-        if line.handler is None:
+        if handler is None:
             self.spurious += 1
             if tracer is not None:
                 tracer.instant("irq.spurious", {"irq": line.number})
@@ -179,21 +213,27 @@ class IrqController:
             lockdep.note_hardirq_entry()
         # The CPU masks local interrupts while a handler runs: a device
         # asserting mid-handler is latched and delivered on return, so
-        # handlers never nest (no reentrant ring cleaning).
-        self.local_irq_disable()
-        kernel.context.enter_irq()
+        # handlers never nest (no reentrant ring cleaning).  The mask
+        # push/pop is inlined (depth is provably nonzero on the way
+        # out, so the enable-side underflow check cannot trip).
+        self._local_disable_depth += 1
+        context = cur.context
+        context._irq_depth += 1
         ret = IRQ_NONE
         try:
-            ret = line.handler(line.number, line.dev_id)
+            ret = handler(line.number, line.dev_id)
         finally:
-            kernel.context.exit_irq()
+            context._irq_depth -= 1
             # Emit before local_irq_enable: a latched IRQ delivered on
             # unmask would otherwise appear *before* this span in the
             # stream while overlapping it in time.
             if tracer is not None:
                 tracer.irq_span(entry_ns, line.number, line.name,
                                 ret != IRQ_NONE)
-            self.local_irq_enable()
+            depth = self._local_disable_depth - 1
+            self._local_disable_depth = depth
+            if depth == 0 and self._local_pending:
+                self._deliver_local_pending()
         self.delivered += 1
         if ret == IRQ_NONE:
             self.spurious += 1

@@ -107,6 +107,13 @@ class NapiCore:
         """
         if cpu is not None and self._kernel.nr_cpus > 1:
             self._net.get_skb_pool(cpu)
+        elif self._kernel.nr_cpus > 1:
+            # Non-affine context on SMP: the shared poll list may run on
+            # any CPU's softirq, and the rx path allocates from the
+            # polling CPU's shard -- creating one lazily there would be
+            # an allocation in atomic context.  Pre-create them all.
+            for c in range(self._kernel.nr_cpus):
+                self._net.get_skb_pool(c)
         else:
             self._net.get_skb_pool()
         return NapiStruct(self, dev, poll, weight=weight, irq=irq, name=name,
@@ -202,9 +209,18 @@ class NapiCore:
         self.softirq_runs += 1
         kernel.charge(kernel.costs.softirq_ns, "softirq")
         tracer = kernel.tracer
-        run_start_ns = kernel.clock.now_ns if tracer is not None else 0
-        polls_this_run = 0
+        clock = kernel.clock
+        run_start_ns = clock.now_ns if tracer is not None else 0
+        # Drain run: the whole budget loop runs against hoisted
+        # bindings, and the run-wide counters (softirq bookkeeping)
+        # are written back once per run instead of once per poll.
         budget = self.budget
+        flush_rx_batch = self._net.flush_rx_batch
+        irq_disabled = kernel.irq.irq_disabled
+        hist = self.packets_per_poll
+        polls_this_run = 0
+        work_this_run = 0
+        poll_start_ns = 0
         self._running.add(key)
         try:
             while lst:
@@ -216,16 +232,15 @@ class NapiCore:
                     # Stale entry: disabled, or completed and re-queued
                     # by a latched IRQ firing inside napi_complete().
                     continue
-                if napi.irq is not None and \
-                        not kernel.irq.irq_disabled(napi.irq):
+                if napi.irq is not None and not irq_disabled(napi.irq):
                     raise SimulationError(
                         "NAPI poll for %s with IRQ %d unmasked" %
                         (napi.name, napi.irq))
-                weight = min(napi.weight, budget)
-                poll_start_ns = \
-                    kernel.clock.now_ns if tracer is not None else 0
+                weight = napi.weight if napi.weight < budget else budget
+                if tracer is not None:
+                    poll_start_ns = clock.now_ns
                 work = napi.poll(napi, weight)
-                self._net.flush_rx_batch()
+                flush_rx_batch()
                 if tracer is not None:
                     latency = None
                     if napi._trace_sched_ns is not None:
@@ -233,13 +248,11 @@ class NapiCore:
                         napi._trace_sched_ns = None
                     tracer.napi_poll_span(poll_start_ns, napi.name, work,
                                           weight, latency)
-                self.polls += 1
                 napi.polls += 1
-                polls_this_run += 1
-                self.work_total += work
                 napi.work_total += work
-                self.packets_per_poll[work] = \
-                    self.packets_per_poll.get(work, 0) + 1
+                polls_this_run += 1
+                work_this_run += work
+                hist[work] = hist.get(work, 0) + 1
                 budget -= work
                 if napi.scheduled and napi not in lst:
                     # Did not complete: ring still has work; round-robin.
@@ -248,6 +261,8 @@ class NapiCore:
                     lst.append(napi)
         finally:
             self._running.discard(key)
+            self.polls += polls_this_run
+            self.work_total += work_this_run
         if tracer is not None:
             tracer.span("softirq.net_rx", run_start_ns,
                         {"polls": polls_this_run,

@@ -111,10 +111,12 @@ class Rig:
 
 
 def make_8139too_rig(decaf=False, irq_mode="napi", nr_cpus=1,
-                     rx_coalesce_ns=0):
+                     rx_coalesce_ns=0, compiled=True):
     """``irq_mode="napi"`` (default) polls RX under a softirq budget;
     ``irq_mode="irq"`` keeps the seed per-packet interrupt path.
-    ``rx_coalesce_ns`` opens the device's interrupt-coalescing window."""
+    ``rx_coalesce_ns`` opens the device's interrupt-coalescing window.
+    ``compiled=False`` is the loop ablation: interpreted rx loop instead
+    of the per-ring compiled closures (identical behaviour)."""
     napi = irq_mode == "napi"
     kernel = make_kernel(nr_cpus=nr_cpus)
     link = EthernetLink(kernel, bits_per_second=100_000_000, name="100M")
@@ -123,16 +125,16 @@ def make_8139too_rig(decaf=False, irq_mode="napi", nr_cpus=1,
     if decaf:
         from ..drivers.decaf import rtl8139_nucleus
 
-        module = rtl8139_nucleus.make_module(napi=napi)
+        module = rtl8139_nucleus.make_module(napi=napi, compiled=compiled)
     else:
         from ..drivers.legacy import rtl8139
 
-        module = rtl8139.make_module(napi=napi)
+        module = rtl8139.make_module(napi=napi, compiled=compiled)
     return Rig("8139too", kernel, nic, module, decaf, link=link)
 
 
 def make_e1000_rig(decaf=False, options=None, irq_mode="napi", nr_cpus=1,
-                   num_queues=1, rx_pending_cap=256):
+                   num_queues=1, rx_pending_cap=256, compiled=True):
     """``irq_mode="napi"`` (default) polls RX under a softirq budget;
     ``irq_mode="irq"`` keeps the seed per-packet interrupt path and
     disables the device's ITR window so every cause fires an IRQ.
@@ -152,11 +154,13 @@ def make_e1000_rig(decaf=False, options=None, irq_mode="napi", nr_cpus=1,
         from ..drivers.decaf import e1000_nucleus
 
         module = e1000_nucleus.make_module(options=options, napi=napi,
-                                           num_queues=num_queues)
+                                           num_queues=num_queues,
+                                           compiled=compiled)
     else:
         from ..drivers.legacy import e1000_main
 
-        module = e1000_main.make_module(napi=napi, num_queues=num_queues)
+        module = e1000_main.make_module(napi=napi, num_queues=num_queues,
+                                        compiled=compiled)
     return Rig("e1000", kernel, nic, module, decaf, link=link)
 
 
