@@ -170,6 +170,24 @@ class Xpc:
         self.boundary_faults = 0      # unchecked exceptions contained
         self.failed_calls = 0         # calls rejected fast on a FAILED channel
         self.deferred_error_types = {}  # exception type name -> count
+        # kstat: multiple Xpc instances (multi-driver rigs) all register
+        # under "xpc"; numeric collisions sum, so the snapshot is the
+        # whole-kernel aggregate.
+        kernel.kstat.register("xpc", self._kstat)
+
+    def _kstat(self):
+        return {
+            "crossings": self.kernel_user_crossings,
+            "lang_crossings": self.lang_crossings,
+            "upcalls": self.upcalls,
+            "downcalls": self.downcalls,
+            "bytes_marshaled": self.bytes_marshaled,
+            "deferred_calls": self.deferred_calls,
+            "deferred_flushes": self.deferred_flushes,
+            "deferred_errors": self.deferred_errors,
+            "boundary_faults": self.boundary_faults,
+            "failed_calls": self.failed_calls,
+        }
 
     def reset_counters(self):
         """Zero every numeric counter this object carries.
@@ -223,8 +241,14 @@ class XpcChannel:
         self._strong_handles = {}
         self._canonical_map = {}
         self._deferred = []
+        # Virtual timestamp of the oldest queued notification; None
+        # when the queue is empty.  The xpc-pending watchdog reads it.
+        self._deferred_since_ns = None
         self._flushing = False
         self.closed = False
+        health = xpc.kernel.health
+        if health is not None:
+            health.watch_channel(self)
         # Failure boundary (opt-in): DecafPlumbing installs a
         # FailurePolicy; a bare channel propagates everything.
         self.failure_policy = None
@@ -280,6 +304,7 @@ class XpcChannel:
         if self._deferred:
             self.xpc.deferred_dropped += len(self._deferred)
             self._deferred.clear()
+        self._deferred_since_ns = None
         self.release_handles()
         self._canonical_map.clear()
         # Associations made by this driver instance must not survive it:
@@ -300,6 +325,7 @@ class XpcChannel:
         if self._deferred:
             self.xpc.deferred_dropped += len(self._deferred)
             self._deferred.clear()
+        self._deferred_since_ns = None
         self.release_handles()
         self._canonical_map.clear()
         self.user_tracker.clear()
@@ -340,6 +366,9 @@ class XpcChannel:
                 "exc": type(exc).__name__,
             })
             tracer.metrics.inc("xpc.boundary_faults|%s" % self.name)
+        health = kernel.health
+        if health is not None:
+            health.on_boundary_fault(self.name, callsite, exc)
         if policy.on_fault is not None:
             policy.on_fault(exc, callsite)
         return True
@@ -497,6 +526,8 @@ class XpcChannel:
                 self._deferred[i] = (func, list(args), extra)
                 self.xpc.deferred_coalesced += 1
                 return
+        if not self._deferred:
+            self._deferred_since_ns = self.xpc.kernel.clock.now_ns
         self._deferred.append((func, list(args), extra))
 
     def pending_deferred(self):
@@ -518,6 +549,7 @@ class XpcChannel:
             # The user-level half is dead; its notifications go nowhere.
             self.xpc.deferred_dropped += len(self._deferred)
             self._deferred.clear()
+            self._deferred_since_ns = None
             return 0
         kernel = self.xpc.kernel
         kernel.context.might_sleep("XPC deferred-notification flush")
@@ -531,6 +563,7 @@ class XpcChannel:
         try:
             batch = self._deferred
             self._deferred = []
+            self._deferred_since_ns = None
             self.xpc.deferred_flushes += 1
             self.xpc.kernel_user_crossings += 1
             self._charge_batch_crossing(len(batch))
@@ -592,6 +625,9 @@ class XpcChannel:
         # trip runs on behalf of the user-level half: an unchecked
         # exception anywhere in it (including a payload that fails to
         # decode) is a driver failure, not a kernel one.
+        prof = kernel.profiler
+        if prof is not None:
+            prof.push("xpc:%s" % self.name)
         try:
             twins = self._transfer_args(list(args), TO_USER)
             fwd = self.last_transfer
@@ -614,6 +650,9 @@ class XpcChannel:
                     cause=exc,
                 ) from exc
             raise
+        finally:
+            if prof is not None:
+                prof.pop()
         self._charge_kernel_crossing()
         if tracer is not None:
             # Before flush_deferred: the flush is its own crossing and

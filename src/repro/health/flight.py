@@ -1,0 +1,82 @@
+"""Flight recorder: the last N things that happened, always.
+
+A bounded ring of compact ``(ts_ns, cpu, name, args)`` records that is
+*always* collecting while the health plane is installed -- independent
+of whether a ktrace :class:`~repro.trace.Tracer` is attached, and
+independent of any tracer's enable-filter.  It is fed from three
+directions:
+
+1. ``Kernel.printk`` mirrors every log line here (printk is cold).
+2. Cold control-plane sites call :meth:`note` directly: watchdog fires,
+   fault injection, XPC boundary containment, recovery steps, lockdep
+   reports.
+3. When a ktrace tracer *is* installed, it mirrors every emitted
+   tracepoint into this ring before applying its enable-filter
+   (``Tracer.instant`` / ``Tracer.span``), so a traced run's ring holds
+   the full recent event stream.
+
+On a crash-grade condition (boundary fault, watchdog fire, lockdep
+report) :meth:`HealthPlane.dump` freezes the ring into a JSON crash
+report alongside a kstat snapshot, the dmesg tail, and per-CPU state.
+``python -m repro.health.postmortem`` summarizes one.
+"""
+
+from collections import deque
+
+DEFAULT_CAPACITY = 8192
+
+
+class FlightRecorder:
+    def __init__(self, kernel, capacity=DEFAULT_CAPACITY):
+        self._kernel = kernel
+        self.capacity = capacity
+        # The ring is a maxlen deque: appends at capacity evict the
+        # oldest record in O(1) -- the "lock-free ring" of the real
+        # kernel's per-CPU trace buffers, minus the CPUs (the simulator
+        # is single-threaded; determinism stands in for atomicity).
+        self.ring = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def note(self, name, args=None):
+        """Record one event.  Cold paths only -- hot paths either pay
+        nothing (no tracer) or are mirrored via the tracer."""
+        kernel = self._kernel
+        self.recorded += 1
+        self.ring.append((kernel.clock.now_ns, kernel.current_cpu.index,
+                          name, args if args is not None else {}))
+
+    def mirror(self, ts_ns, cpu, name, args):
+        """Tracer-side mirroring entry point (pre-built fields)."""
+        self.recorded += 1
+        self.ring.append((ts_ns, cpu, name, args))
+
+    def tail(self, n=None):
+        """Newest-last list of records (the whole ring by default)."""
+        if n is None or n >= len(self.ring):
+            return list(self.ring)
+        return list(self.ring)[-n:]
+
+    def snapshot(self):
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "buffered": len(self.ring),
+        }
+
+
+def sanitize(value, depth=0):
+    """Make a record JSON-serializable without trusting its contents.
+
+    Ring args may hold arbitrary objects (exceptions, devices).  Dump
+    files must always be writable, so anything non-primitive collapses
+    to ``repr`` and nesting is bounded.
+    """
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if depth >= 4:
+        return repr(value)
+    if isinstance(value, dict):
+        return {str(k): sanitize(v, depth + 1) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(v, depth + 1) for v in value]
+    return repr(value)

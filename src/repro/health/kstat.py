@@ -1,0 +1,111 @@
+"""kstat: a named, hierarchical counter/gauge registry.
+
+Subsystems do not push values here on their hot paths.  They register a
+*provider* -- a zero-argument callable returning a flat ``{name: value}``
+dict -- and the registry pulls from it only when someone snapshots.  The
+always-on cost of a kstat is therefore zero: the counters already exist
+(IRQ delivery counts, NAPI poll totals, XPC crossings, ...); the
+registry is just a uniform, dotted-name window onto them.
+
+Naming scheme (see DESIGN.md "Health plane")::
+
+    kernel.cpu0.busy_ns        per-CPU busy virtual time
+    kernel.cpu0.irq_ns         ... split by accounting category
+    irq.line10.count           per-line delivery count
+    napi.polls                 NAPI core counters
+    skb_pool.shared.hit_rate   per-shard pool efficiency
+    xpc.crossings              summed across a driver's channels
+    recovery.restarts          supervisor counters
+    health.watchdog_fires      the health plane's own cold counters
+
+Two providers registered under the same prefix merge; numeric name
+collisions sum (two XPC instances on one kernel yield aggregate
+crossings, like /proc/interrupts summing per-CPU columns).
+"""
+
+
+class KstatRegistry:
+    """Provider-based pull registry plus a few explicit cold counters."""
+
+    def __init__(self):
+        # [(prefix, provider)] in registration order.
+        self._providers = []
+        # Explicit counters for cold events with no natural home
+        # (watchdog fires, flight dumps).  Updated via inc(), never on
+        # a hot path.
+        self._counters = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, prefix, provider):
+        """Register ``provider() -> {relative_name: value}`` under ``prefix``."""
+        if not callable(provider):
+            raise TypeError("kstat provider for %r is not callable" % prefix)
+        self._providers.append((prefix, provider))
+        return provider
+
+    def unregister(self, prefix, provider=None):
+        """Drop providers under ``prefix`` (or one specific provider)."""
+        self._providers = [
+            (p, fn) for p, fn in self._providers
+            if not (p == prefix and (provider is None or fn is provider))
+        ]
+
+    # -- explicit cold counters --------------------------------------------
+
+    def inc(self, name, delta=1):
+        self._counters[name] = self._counters.get(name, 0) + delta
+
+    def counter(self, name):
+        return self._counters.get(name, 0)
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self):
+        """Flat ``{dotted.name: value}`` dict across every provider.
+
+        Values are numbers (bools coerce to int).  A provider that
+        raises poisons nothing else: its error is surfaced as a
+        ``<prefix>.error`` string entry instead of a crash, because a
+        health plane that dies while reporting a dying system is
+        useless.
+        """
+        out = {}
+        for prefix, provider in self._providers:
+            try:
+                values = provider()
+            except Exception as exc:  # noqa: BLE001 -- see docstring
+                out["%s.error" % prefix] = "%s: %s" % (type(exc).__name__, exc)
+                continue
+            for name, value in values.items():
+                key = "%s.%s" % (prefix, name) if prefix else str(name)
+                if isinstance(value, bool):
+                    value = int(value)
+                if key in out and isinstance(out[key], (int, float)) \
+                        and isinstance(value, (int, float)):
+                    out[key] += value
+                else:
+                    out[key] = value
+        for name, value in self._counters.items():
+            out[name] = out.get(name, 0) + value
+        return out
+
+    @staticmethod
+    def delta(before, after):
+        """Per-key numeric difference of two snapshots.
+
+        Keys present on only one side are reported as-is (a counter
+        that appeared mid-window delta'd from zero; one that vanished
+        shows its negated old value) -- deltas never divide.
+        """
+        out = {}
+        for key in set(before) | set(after):
+            a = before.get(key, 0)
+            b = after.get(key, 0)
+            if not isinstance(a, (int, float)) or isinstance(a, bool):
+                a = 0
+            if not isinstance(b, (int, float)) or isinstance(b, bool):
+                b = 0
+            if b != a:
+                out[key] = b - a
+        return out

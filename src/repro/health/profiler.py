@@ -1,0 +1,141 @@
+"""Virtual-time sampling profiler.
+
+A periodic tick event on the kernel's event queue takes one sample per
+virtual period.  Because ``Kernel.consume`` fires due events from
+*inside* whatever code is charging time, the tick genuinely lands mid
+handler: this is real statistical sampling over virtual time, not a
+post-hoc summary.
+
+Each sample attributes the elapsed period to:
+
+* the **frame stack** -- instrumented dispatch sites (IRQ handlers,
+  NAPI polls, timer and work callbacks, XPC upcalls) push a label on
+  entry and pop on exit, guarded exactly like tracepoints
+  (``prof = kernel.profiler`` / ``if prof is not None``), so the
+  disabled path costs one load + one identity test per site;
+* the **accounting category** the current CPU last charged
+  (``CpuAccounting.last_category``);
+* the **per-CPU category deltas** since the previous tick -- exact, not
+  sampled, taken from the accounting dicts.  On SMP kernels this is the
+  authoritative attribution: CPU-targeted events charge deferred (no
+  nested event firing), so stack samples there under-count and the
+  category deltas carry the signal.
+
+``flame()`` returns the aggregated ``"cpuN;ctx;frame;frame" -> samples``
+dict (collapsed-stack format: feed it to any flamegraph tool);
+``by_category()`` the exact per-CPU nanosecond split.
+"""
+
+# Local constant: repro.health stays import-free of repro.kernel (the
+# kernel core imports repro.health.kstat; see watchdog.py).
+NSEC_PER_MSEC = 1_000_000
+
+DEFAULT_PERIOD_NS = NSEC_PER_MSEC  # 1 virtual ms per sample
+
+
+class SamplingProfiler:
+    def __init__(self, kernel, period_ns=DEFAULT_PERIOD_NS):
+        self._kernel = kernel
+        self.period_ns = period_ns
+        self.samples = 0
+        self.idle_samples = 0
+        self.stacks = {}          # "cpuN;ctx;frames..." -> sample count
+        self.category_ns = {}     # "cpuN.category" -> exact ns
+        self._stack = []          # live frame stack (push/pop sites)
+        self._last_busy = []      # per-CPU busy_ns at previous tick
+        self._last_cats = []      # per-CPU {category: ns} at previous tick
+        self.installed = False
+        self._event = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self):
+        if self._kernel.profiler is not None:
+            raise RuntimeError("kernel already has a profiler installed")
+        self._kernel.profiler = self
+        self.installed = True
+        self._last_busy = [cpu.acct._busy_ns for cpu in self._kernel.cpus]
+        self._last_cats = [dict(cpu.acct._by_category)
+                           for cpu in self._kernel.cpus]
+        self._event = self._kernel.events.schedule_after(
+            self.period_ns, self._tick, name="health-sampler")
+        return self
+
+    def uninstall(self):
+        if not self.installed:
+            return
+        self._kernel.profiler = None
+        self.installed = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._stack = []
+
+    # -- frame stack (guarded call sites) ------------------------------------
+
+    def push(self, label):
+        self._stack.append(label)
+
+    def pop(self):
+        if self._stack:
+            self._stack.pop()
+
+    # -- the tick ------------------------------------------------------------
+
+    def _tick(self):
+        self._event = None
+        if not self.installed:
+            return
+        kernel = self._kernel
+        self.samples += 1
+        cur = kernel.current_cpu
+
+        # Exact per-CPU category deltas since the last tick.
+        cat_ns = self.category_ns
+        for vcpu in kernel.cpus:
+            last = self._last_cats[vcpu.index]
+            for category, ns in vcpu.acct._by_category.items():
+                delta = ns - last.get(category, 0)
+                if delta:
+                    key = "cpu%d.%s" % (vcpu.index, category)
+                    cat_ns[key] = cat_ns.get(key, 0) + delta
+                    last[category] = ns
+
+        # One stack sample for the CPU the tick landed on.
+        busy_delta = cur.acct._busy_ns - self._last_busy[cur.index]
+        self._last_busy = [cpu.acct._busy_ns for cpu in kernel.cpus]
+        if busy_delta == 0 and not self._stack:
+            self.idle_samples += 1
+            key = "cpu%d;idle" % cur.index
+        else:
+            frames = ";".join(self._stack) if self._stack else \
+                "(%s)" % (cur.acct.last_category or "kernel")
+            key = "cpu%d;%s;%s" % (
+                cur.index, cur.context.current_context(), frames)
+        self.stacks[key] = self.stacks.get(key, 0) + 1
+
+        if self.installed:
+            self._event = kernel.events.schedule_after(
+                self.period_ns, self._tick, name="health-sampler")
+
+    # -- results -------------------------------------------------------------
+
+    def flame(self, top=None):
+        """Collapsed-stack samples, heaviest first."""
+        ranked = sorted(self.stacks.items(), key=lambda kv: -kv[1])
+        if top is not None:
+            ranked = ranked[:top]
+        return dict(ranked)
+
+    def by_category(self):
+        """Exact per-CPU nanoseconds charged per category while sampling."""
+        return dict(self.category_ns)
+
+    def summary(self):
+        return {
+            "period_ns": self.period_ns,
+            "samples": self.samples,
+            "idle_samples": self.idle_samples,
+            "stacks": self.flame(top=50),
+            "by_category": self.by_category(),
+        }

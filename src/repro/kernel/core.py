@@ -18,6 +18,7 @@ Typical use::
 
 from collections import deque
 
+from ..health.kstat import KstatRegistry
 from .context import ExecContext, HARDIRQ, PROCESS, SOFTIRQ
 from .costs import CostModel
 from .errors import SimulationError
@@ -81,6 +82,10 @@ class Kernel:
             raise SimulationError("nr_cpus must be 1..%d" % MAX_CPUS)
         self.costs = costs or CostModel()
         self.clock = VirtualClock()
+        # kstat: the always-on counter registry (repro.health).  Pull
+        # only -- subsystems register lazy providers over counters they
+        # already keep, so hot paths pay nothing for it.
+        self.kstat = KstatRegistry()
         # Aggregate accounting across all CPUs (what single-CPU code
         # always charged); per-CPU accounting lives on each VCpu.
         self.cpu = CpuAccounting(self.clock)
@@ -106,6 +111,23 @@ class Kernel:
         # via enable_lockdep() -- conformance runs turn it on, ordinary
         # rigs pay one attribute load per lock operation.
         self.lockdep = None
+        # Health plane (repro.health.HealthPlane) when installed, else
+        # None: flight recorder, stall watchdogs, crash dumps.  Cold
+        # paths (printk, faults, lockdep) guard on this one attribute.
+        self.health = None
+        # Sampling profiler (repro.health.SamplingProfiler) when
+        # installed; instrumented dispatch sites guard on it exactly
+        # like tracepoints guard on self.tracer.
+        self.profiler = None
+        # Watchdog bookkeeping: depth of nested event dispatches and
+        # the aggregate busy count when the outermost one entered.  A
+        # nested watchdog check reading busy - entry sees how long the
+        # current handler has hogged the CPU (soft-lockup detection).
+        self._dispatch_depth = 0
+        self._dispatch_entry_busy_ns = 0
+        # Unconditional counter of softirq-context dispatches (kstat).
+        self.softirq_dispatches = 0
+        self.kstat.register("kernel", self._kstat_kernel)
 
         # Bus / class subsystems are attached lazily to keep the core free
         # of upward dependencies; see repro.kernel.__init__.
@@ -138,6 +160,23 @@ class Kernel:
         """Execution context of the CPU the kernel is running on."""
         return self.current_cpu.context
 
+    # -- kstat ----------------------------------------------------------------
+
+    def _kstat_kernel(self):
+        """Core counters for the health plane's registry (pull-only)."""
+        out = {
+            "nr_cpus": self.nr_cpus,
+            "now_ns": self.clock.now_ns,
+            "log_dropped": self.log_dropped,
+            "softirq_dispatches": self.softirq_dispatches,
+        }
+        for vcpu in self.cpus:
+            prefix = "cpu%d" % vcpu.index
+            out["%s.busy_ns" % prefix] = vcpu.acct._busy_ns
+            for category, ns in vcpu.acct._by_category.items():
+                out["%s.%s_ns" % (prefix, category)] = ns
+        return out
+
     # -- lockdep ---------------------------------------------------------------
 
     def enable_lockdep(self):
@@ -160,6 +199,11 @@ class Kernel:
         tracer = self.tracer
         if tracer is not None:
             tracer.instant("printk", {"level": level, "msg": message})
+        health = self.health
+        if health is not None and tracer is None:
+            # Mirror log lines into the flight ring.  With a tracer
+            # installed the instant() above already mirrored there.
+            health.flight.note("printk", {"level": level, "msg": message})
 
     def dmesg(self, level=None):
         """Ring-buffer contents as (ns, level, message), oldest first.
@@ -240,27 +284,35 @@ class Kernel:
 
     def _run_event(self, ev):
         context = self.current_cpu.context
-        if ev.context == HARDIRQ:
-            context.enter_irq()
-            try:
+        depth = self._dispatch_depth
+        if depth == 0:
+            self._dispatch_entry_busy_ns = self.cpu._busy_ns
+        self._dispatch_depth = depth + 1
+        try:
+            if ev.context == HARDIRQ:
+                context.enter_irq()
+                try:
+                    ev.callback()
+                finally:
+                    context.exit_irq()
+            elif ev.context == SOFTIRQ:
+                self.softirq_dispatches += 1
+                context.enter_softirq()
+                try:
+                    ev.callback()
+                finally:
+                    context.exit_softirq()
+            else:
+                if ev.needs_sched and context.in_atomic():
+                    # A work item came due inside a nested advance while
+                    # the CPU is in interrupt context or holds a spinlock.
+                    # Running it here would let sleeping work execute
+                    # atomically; park it until the CPU is schedulable.
+                    self._parked_process_events.append(ev)
+                    return
                 ev.callback()
-            finally:
-                context.exit_irq()
-        elif ev.context == SOFTIRQ:
-            context.enter_softirq()
-            try:
-                ev.callback()
-            finally:
-                context.exit_softirq()
-        else:
-            if ev.needs_sched and context.in_atomic():
-                # A work item came due inside a nested advance while
-                # the CPU is in interrupt context or holds a spinlock.
-                # Running it here would let sleeping work execute
-                # atomically; park it until the CPU is schedulable.
-                self._parked_process_events.append(ev)
-                return
-            ev.callback()
+        finally:
+            self._dispatch_depth = depth
 
     def _dispatch_on_cpu(self, ev):
         """Run a CPU-targeted event with deferred time charging.

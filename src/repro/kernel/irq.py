@@ -15,7 +15,8 @@ IRQ_HANDLED = 1
 
 
 class _IrqLine:
-    __slots__ = ("number", "handler", "dev_id", "name", "disable_depth", "pending")
+    __slots__ = ("number", "handler", "dev_id", "name", "disable_depth",
+                 "pending", "count")
 
     def __init__(self, number):
         self.number = number
@@ -24,6 +25,7 @@ class _IrqLine:
         self.name = None
         self.disable_depth = 0
         self.pending = False
+        self.count = 0  # deliveries on this line (/proc/interrupts style)
 
 
 class IrqController:
@@ -38,6 +40,14 @@ class IrqController:
         self._affinity = {}
         self.delivered = 0
         self.spurious = 0
+        kernel.kstat.register("irq", self._kstat)
+
+    def _kstat(self):
+        out = {"delivered": self.delivered, "spurious": self.spurious}
+        for line in self._lines:
+            if line.count or line.handler is not None:
+                out["line%d.count" % line.number] = line.count
+        return out
 
     def _line(self, irq):
         if not 0 <= irq < len(self._lines):
@@ -219,10 +229,15 @@ class IrqController:
         self._local_disable_depth += 1
         context = cur.context
         context._irq_depth += 1
+        prof = kernel.profiler
+        if prof is not None:
+            prof.push("irq:%s" % (line.name or line.number))
         ret = IRQ_NONE
         try:
             ret = handler(line.number, line.dev_id)
         finally:
+            if prof is not None:
+                prof.pop()
             context._irq_depth -= 1
             # Emit before local_irq_enable: a latched IRQ delivered on
             # unmask would otherwise appear *before* this span in the
@@ -235,5 +250,6 @@ class IrqController:
             if depth == 0 and self._local_pending:
                 self._deliver_local_pending()
         self.delivered += 1
+        line.count += 1
         if ret == IRQ_NONE:
             self.spurious += 1

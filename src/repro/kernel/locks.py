@@ -95,6 +95,9 @@ class LockDep:
         if tracer is not None:
             tracer.instant("lockdep.report", {"kind": kind, "msg": message})
             tracer.metrics.inc("lockdep.reports|%s" % kind)
+        health = self._kernel.health
+        if health is not None:
+            health.on_lockdep_report(kind, message)
 
     def by_kind(self, kind):
         return [r for r in self.reports if r.kind == kind]

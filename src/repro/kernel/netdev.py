@@ -174,19 +174,28 @@ class NetDevice:
         self._carrier_ok = False
         self.registered = False
         self.tx_queue_wakeups = 0
+        # Virtual timestamp of the last running->stopped transition;
+        # None while the queue runs.  The hung-task watchdog reads this
+        # to spot a TX queue that stopped and never woke (lost
+        # completions: the wedged-device signature).
+        self._stopped_since_ns = None
 
     # -- queue control (driver side) -----------------------------------------
 
     def netif_start_queue(self):
         self._queue_stopped = False
+        self._stopped_since_ns = None
 
     def netif_stop_queue(self):
+        if not self._queue_stopped:
+            self._stopped_since_ns = self._kernel.clock.now_ns
         self._queue_stopped = True
 
     def netif_wake_queue(self):
         if self._queue_stopped:
             self.tx_queue_wakeups += 1
         self._queue_stopped = False
+        self._stopped_since_ns = None
 
     def netif_queue_stopped(self):
         return self._queue_stopped
@@ -217,6 +226,30 @@ class NetworkCore:
         self.cpu_skb_pools = {}  # cpu index -> per-CPU SkbPool shard
         self._rx_batch_packets = 0
         self._rx_batch_bytes = 0
+        kernel.kstat.register("napi", self._kstat_napi)
+        kernel.kstat.register("net", self._kstat_net)
+
+    def _kstat_napi(self):
+        return self.napi.snapshot()
+
+    def _kstat_net(self):
+        out = {"stack_rx_packets": self.stack_rx_packets,
+               "stack_rx_bytes": self.stack_rx_bytes}
+        for dev in self._devices:
+            stats = dev.stats
+            prefix = dev.name
+            out["%s.tx_packets" % prefix] = stats.tx_packets
+            out["%s.rx_packets" % prefix] = stats.rx_packets
+            out["%s.tx_queue_wakeups" % prefix] = dev.tx_queue_wakeups
+            out["%s.queue_stopped" % prefix] = dev._queue_stopped
+        for label, counters in self.skb_pool_stats().items():
+            total = counters["hits"] + counters["misses"]
+            out["skb_pool.%s.hits" % label] = counters["hits"]
+            out["skb_pool.%s.misses" % label] = counters["misses"]
+            out["skb_pool.%s.recycles" % label] = counters["recycles"]
+            out["skb_pool.%s.hit_rate" % label] = (
+                counters["hits"] / total if total else 0.0)
+        return out
 
     def get_skb_pool(self, cpu=None):
         """The zero-copy rx pool; allocated on first use.
@@ -305,9 +338,12 @@ class NetworkCore:
     def dev_close(self, dev):
         if not dev.flags & IFF_UP:
             return 0
-        ret = dev.stop(dev) if dev.stop else 0
+        # Clear the running state *before* the driver's stop op, as
+        # Linux clears __LINK_STATE_START ahead of ndo_stop: anything
+        # observing netif_running() mid-teardown (the hung-TX watchdog
+        # in particular) must see the device as going down.
         dev.flags &= ~IFF_UP
-        return ret
+        return dev.stop(dev) if dev.stop else 0
 
     # -- transmit path -------------------------------------------------------------
 

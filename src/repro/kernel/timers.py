@@ -59,13 +59,22 @@ class KernelTimer:
     def _fire(self):
         self._event = None
         self.fired += 1
-        tracer = self._kernel.tracer
-        if tracer is None:
+        kernel = self._kernel
+        prof = kernel.profiler
+        if prof is not None:
+            prof.push("timer:%s" % self.name)
+        try:
+            tracer = kernel.tracer
+            if tracer is None:
+                self.function(self.data)
+                return
+            start_ns = kernel.clock.now_ns
             self.function(self.data)
-            return
-        start_ns = self._kernel.clock.now_ns
-        self.function(self.data)
-        tracer.span("timer.fire", start_ns, {"timer": self.name}, cat="timer")
+            tracer.span("timer.fire", start_ns, {"timer": self.name},
+                        cat="timer")
+        finally:
+            if prof is not None:
+                prof.pop()
 
 
 class WorkItem:
@@ -90,14 +99,23 @@ class WorkItem:
             self._queue._pending.discard(self)
             self._queue = None
         self.executed += 1
-        self._kernel.charge(self._kernel.costs.context_switch_ns, "workqueue")
-        tracer = self._kernel.tracer
-        if tracer is None:
+        kernel = self._kernel
+        kernel.charge(kernel.costs.context_switch_ns, "workqueue")
+        prof = kernel.profiler
+        if prof is not None:
+            prof.push("work:%s" % self.name)
+        try:
+            tracer = kernel.tracer
+            if tracer is None:
+                self.function(self.data)
+                return
+            start_ns = kernel.clock.now_ns
             self.function(self.data)
-            return
-        start_ns = self._kernel.clock.now_ns
-        self.function(self.data)
-        tracer.span("work.item", start_ns, {"work": self.name}, cat="work")
+            tracer.span("work.item", start_ns, {"work": self.name},
+                        cat="work")
+        finally:
+            if prof is not None:
+                prof.pop()
 
 
 class Workqueue:

@@ -62,6 +62,11 @@ class CpuAccounting:
         self._by_category = {}
         self._window_start_ns = 0
         self._window_busy_start_ns = 0
+        # Most recent category charged; the sampling profiler uses it
+        # to label samples taken outside any instrumented frame.  (The
+        # inlined charge in irq dispatch skips this -- the profiler's
+        # frame stack covers that path.)
+        self.last_category = None
 
     @property
     def busy_ns(self):
@@ -73,6 +78,7 @@ class CpuAccounting:
             raise SimulationError("negative CPU charge: %d" % ns)
         self._busy_ns += ns
         self._by_category[category] = self._by_category.get(category, 0) + ns
+        self.last_category = category
 
     def category_ns(self, category):
         return self._by_category.get(category, 0)

@@ -11,6 +11,7 @@ adapted to Decaf's kernel-nucleus/user-library split.
 """
 
 from .log import ReplayLog
-from .supervisor import DriverSupervisor, RecoveryError
+from .supervisor import DriverSupervisor, RecoveryError, WedgedDriverError
 
-__all__ = ["DriverSupervisor", "RecoveryError", "ReplayLog"]
+__all__ = ["DriverSupervisor", "RecoveryError", "ReplayLog",
+           "WedgedDriverError"]

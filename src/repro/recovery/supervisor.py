@@ -34,6 +34,15 @@ class RecoveryError(Exception):
     """A replayed configuration call failed during recovery."""
 
 
+class WedgedDriverError(Exception):
+    """Pseudo-fault recorded when a watchdog reports a wedged driver.
+
+    The driver never raised -- it went silent (lost TX completions, a
+    deferred queue that never drains) -- so the watchdog manufactures
+    the fault that puts the channel through the normal restart path.
+    """
+
+
 class DriverSupervisor:
     def __init__(self, kernel, nucleus, max_recoveries=3):
         self.kernel = kernel
@@ -41,6 +50,7 @@ class DriverSupervisor:
         self.plumbing = nucleus.plumbing
         self.max_recoveries = max_recoveries
         self.faults_seen = 0
+        self.wedges = 0           # watchdog-reported stalls
         self.recoveries = 0
         self.failed_recoveries = 0
         self.replayed_ops = 0
@@ -59,6 +69,20 @@ class DriverSupervisor:
         started = getattr(nucleus, "supervision_started", None)
         if started is not None:
             started()
+        kernel.kstat.register("recovery", self._kstat)
+        health = kernel.health
+        if health is not None:
+            health.register_supervisor(self)
+
+    def _kstat(self):
+        return {
+            "restarts": self.recoveries,
+            "faults_seen": self.faults_seen,
+            "wedges": self.wedges,
+            "failed_recoveries": self.failed_recoveries,
+            "work_lost": self.work_lost,
+            "gave_up": self.gave_up,
+        }
 
     @property
     def channel(self):
@@ -97,6 +121,24 @@ class DriverSupervisor:
         if not self._work_pending and not self.in_progress:
             self._work_pending = True
             kernel.workqueue.schedule_work(self._work)
+
+    def note_wedge(self, reason):
+        """Watchdog report: the driver is silently stalled, not faulted.
+
+        Marks the channel FAILED with a :class:`WedgedDriverError`
+        pseudo-fault (unless a real fault already did) so the standard
+        quiesce/restart/replay machinery applies.  No-op while a
+        recovery is already pending or after the supervisor gave up.
+        """
+        if self.gave_up or self.in_progress or self._work_pending:
+            return
+        self.wedges += 1
+        channel = self.channel
+        exc = WedgedDriverError(reason)
+        if not channel.failed:
+            channel.failed = True
+            channel.failure = (exc, "watchdog", self.kernel.clock.now_ns)
+        self.note_fault(exc, "watchdog")
 
     def _recovery_work(self, _data):
         self._work_pending = False

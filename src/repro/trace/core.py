@@ -73,6 +73,9 @@ TRACEPOINTS = {
     "recovery.giveup": ("i", "supervisor stopped recovering this driver"),
     # Logging
     "printk": ("i", "kernel log line"),
+    # Health plane
+    "health.watchdog": ("i", "stall watchdog fired (soft lockup / hung task)"),
+    "health.dump": ("i", "flight recorder wrote a crash report"),
 }
 
 _VALID_NAMES = frozenset(TRACEPOINTS)
@@ -116,6 +119,11 @@ class Tracer:
                 raise TraceError(
                     "unknown tracepoint(s): %s" % ", ".join(sorted(unknown)))
         self.installed = False
+        # Flight recorder of the kernel's health plane (if installed):
+        # instant/span mirror every event into its ring *before* the
+        # enable-filter, so the ring always holds the recent past even
+        # when the tracer only collects a subset.
+        self.flight = None
         # Pre-resolved hot histograms (skip dict lookups on hot spans).
         self._hist_irq = self.metrics.histogram("irq_ns")
         self._hist_irq_to_poll = self.metrics.histogram("irq_to_poll_ns")
@@ -130,6 +138,9 @@ class Tracer:
             raise TraceError("kernel already has a tracer installed")
         self.kernel.tracer = self
         self.kernel.events.tracer = self
+        health = self.kernel.health
+        if health is not None:
+            self.flight = health.flight
         self.installed = True
         active_tracers += 1
         return self
@@ -141,6 +152,7 @@ class Tracer:
             return
         self.kernel.tracer = None
         self.kernel.events.tracer = None
+        self.flight = None
         self.installed = False
         active_tracers -= 1
 
@@ -162,6 +174,11 @@ class Tracer:
     def instant(self, name, args=None, cat=None):
         if name not in _VALID_NAMES:
             raise TraceError("unregistered tracepoint %r" % name)
+        flight = self.flight
+        if flight is not None:
+            kernel = self.kernel
+            flight.mirror(kernel.clock.now_ns, kernel.current_cpu.index,
+                          name, args if args is not None else {})
         if self._enabled is not None and name not in self._enabled:
             return
         kernel = self.kernel
@@ -184,6 +201,11 @@ class Tracer:
         """
         if name not in _VALID_NAMES:
             raise TraceError("unregistered tracepoint %r" % name)
+        flight = self.flight
+        if flight is not None:
+            kernel = self.kernel
+            flight.mirror(start_ns, kernel.current_cpu.index,
+                          name, args if args is not None else {})
         if self._enabled is not None and name not in self._enabled:
             return
         kernel = self.kernel

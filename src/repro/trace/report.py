@@ -201,33 +201,48 @@ def _comparable(doc):
 
 
 def diff_docs(doc_a, doc_b, threshold_pct=10.0, out=None):
-    """Print a counter diff; returns the number of flagged counters."""
+    """Print a counter diff; returns the number of flagged counters.
+
+    Counters present in both docs diff as percentages.  Counters in
+    only one doc get no percentage -- a vanished counter is not a
+    "-100% regression" and an appeared one has no base to divide by;
+    both land in an explicit new/gone section instead (still flagged,
+    since a counter appearing or vanishing between runs is exactly the
+    kind of change a diff exists to surface).
+    """
     out = out or sys.stdout
     a, b = _comparable(doc_a), _comparable(doc_b)
     flagged = 0
     rows = []
-    for path in sorted(set(a) | set(b)):
-        va, vb = a.get(path), b.get(path)
+    for path in sorted(set(a) & set(b)):
+        va, vb = a[path], b[path]
         if va == vb:
             continue
-        if va is None or va == 0:
-            # Appeared (or grew from zero): always worth flagging.
-            pct, delta = None, "new" if va is None else "from 0"
+        if va == 0:
+            # Grew from zero: no base to divide by; always flag.
+            pct, delta = None, "from 0"
         else:
-            pct = 100.0 * ((vb or 0) - va) / abs(va)
+            pct = 100.0 * (vb - va) / abs(va)
             delta = "%+.1f%%" % pct
         mark = ""
         if pct is None or abs(pct) > threshold_pct:
             mark = "!"
             flagged += 1
-        rows.append((mark, path,
-                     "-" if va is None else va,
-                     "-" if vb is None else vb,
-                     delta))
+        rows.append((mark, path, va, vb, delta))
     _print_table(
         "diff (threshold %.0f%%; '!' = counter moved beyond it)"
         % threshold_pct,
         ["", "counter", "a", "b", "delta"], rows, out)
+
+    new = sorted(set(b) - set(a))
+    gone = sorted(set(a) - set(b))
+    if new or gone:
+        section = [("!", path, "-", b[path], "new") for path in new]
+        section += [("!", path, a[path], "-", "gone") for path in gone]
+        flagged += len(section)
+        _print_table("only in one doc (%d new, %d gone)"
+                     % (len(new), len(gone)),
+                     ["", "counter", "a", "b", "delta"], section, out)
     print("%d counter(s) moved > %.0f%%" % (flagged, threshold_pct), file=out)
     return flagged
 

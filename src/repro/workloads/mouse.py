@@ -7,7 +7,7 @@ utilization and event counts.
 """
 
 from ..trace import begin_trace, finish_trace
-from .result import WorkloadResult
+from .result import WorkloadResult, health_summary_of
 
 
 def move_and_click(rig, duration_s=30.0, trace=None):
@@ -53,6 +53,7 @@ def move_and_click(rig, duration_s=30.0, trace=None):
     ds = rig.deferred_stats()
     result = WorkloadResult(
         name="move-and-click",
+        health_summary=health_summary_of(kernel),
         duration_s=elapsed_s,
         packets=packets,
         cpu_utilization=kernel.cpu.utilization(),

@@ -8,7 +8,7 @@ the workload is real-time-bound, exactly like the paper's.
 
 from ..kernel.sound import SNDRV_PCM_TRIGGER_START, SNDRV_PCM_TRIGGER_STOP
 from ..trace import begin_trace, finish_trace
-from .result import WorkloadResult
+from .result import WorkloadResult, health_summary_of
 
 MP3_BITRATE = 256_000
 PCM_RATE = 44_100
@@ -82,6 +82,7 @@ def mpg123_play(rig, duration_s=10.0, period_bytes=4096, periods=4,
     ds = rig.deferred_stats()
     result = WorkloadResult(
         name="mpg123",
+        health_summary=health_summary_of(kernel),
         duration_s=elapsed_s,
         bytes_moved=written,
         throughput_mbps=written * 8 / elapsed_s / 1e6,

@@ -12,7 +12,7 @@ give exact, stable numbers (configurable for longer runs).
 
 from ..kernel import NETDEV_TX_OK, SkBuff
 from ..trace import begin_trace, finish_trace
-from .result import WorkloadResult
+from .result import WorkloadResult, health_summary_of
 
 
 def _open_dev(rig):
@@ -130,6 +130,7 @@ def netperf_send(rig, duration_s=2.0, msg_bytes=1500, trace=None):
     dp = _datapath_delta(kernel, dp0)
     result = WorkloadResult(
         name="netperf-send",
+        health_summary=health_summary_of(kernel),
         duration_s=elapsed_s,
         bytes_moved=sent_bytes,
         packets=sent_packets,
@@ -203,6 +204,7 @@ def netperf_recv(rig, duration_s=2.0, msg_bytes=1500, utilization=0.95,
     dp = _datapath_delta(kernel, dp0)
     result = WorkloadResult(
         name="netperf-recv",
+        health_summary=health_summary_of(kernel),
         duration_s=elapsed_s,
         bytes_moved=received[1],
         packets=received[0],
@@ -280,6 +282,7 @@ def netperf_udp_rr(rig, duration_s=1.0, msg_bytes=1, trace=None):
     dp = _datapath_delta(kernel, dp0)
     result = WorkloadResult(
         name="netperf-udp-rr",
+        health_summary=health_summary_of(kernel),
         duration_s=elapsed_s,
         bytes_moved=sent * len(payload),
         packets=sent,

@@ -3,6 +3,17 @@
 from dataclasses import dataclass, field
 
 
+def health_summary_of(kernel):
+    """``HealthPlane.summary()`` of the kernel, or {} when none installed.
+
+    Workloads call this at result-construction time so every
+    WorkloadResult from a health-enabled rig carries the kstat
+    snapshot, flight-recorder state and watchdog fires.
+    """
+    health = kernel.health
+    return health.summary() if health is not None else {}
+
+
 @dataclass
 class WorkloadResult:
     """What one workload run measured (one Table 3 cell group)."""
@@ -37,6 +48,9 @@ class WorkloadResult:
     packets_lost: int = 0
     # ktrace summary (Tracer.summary()) when the workload ran traced.
     trace_summary: dict = field(default_factory=dict)
+    # HealthPlane.summary() when the kernel ran with a health plane
+    # installed (kstat snapshot, flight-recorder state, watchdog fires).
+    health_summary: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
     def _pkts_per_poll_compact(self):
@@ -78,6 +92,10 @@ class WorkloadResult:
             "recoveries": self.recoveries,
             "packets_lost": self.packets_lost,
         }
+        if self.health_summary:
+            fires = self.health_summary.get("watchdog_fires", {})
+            row["watchdog_fires"] = sum(fires.values())
+            row["health_dumps"] = self.health_summary.get("dumps", 0)
         # Scalar extras ride along (non-scalars, e.g. a whole Rig kept
         # for inspection, stay out of the printable row).
         for key, value in self.extra.items():

@@ -19,6 +19,22 @@ from ..devices import (
 from ..kernel import make_kernel
 
 
+def _install_health(kernel, health):
+    """Install a HealthPlane when a builder is asked for one.
+
+    ``health`` may be False (off), True (defaults), or a dict of
+    HealthPlane keyword arguments (``dump_dir``, ``flight_capacity``,
+    watchdog thresholds...).  Installed *before* the driver module is
+    built so XPC channels self-register with the watchdog.
+    """
+    if not health:
+        return None
+    from ..health import HealthPlane
+
+    kwargs = dict(health) if isinstance(health, dict) else {}
+    return HealthPlane(kernel, **kwargs).install()
+
+
 class Rig:
     def __init__(self, name, kernel, device, module, decaf, link=None,
                  extra=None):
@@ -68,6 +84,11 @@ class Rig:
     def netdev(self):
         return self.kernel.net.find("eth0")
 
+    @property
+    def health(self):
+        """The kernel's HealthPlane, or None (``health=`` builder arg)."""
+        return self.kernel.health
+
     # -- fault isolation / supervised recovery (decaf rigs) -------------------
 
     @property
@@ -111,7 +132,7 @@ class Rig:
 
 
 def make_8139too_rig(decaf=False, irq_mode="napi", nr_cpus=1,
-                     rx_coalesce_ns=0, compiled=True):
+                     rx_coalesce_ns=0, compiled=True, health=False):
     """``irq_mode="napi"`` (default) polls RX under a softirq budget;
     ``irq_mode="irq"`` keeps the seed per-packet interrupt path.
     ``rx_coalesce_ns`` opens the device's interrupt-coalescing window.
@@ -119,6 +140,7 @@ def make_8139too_rig(decaf=False, irq_mode="napi", nr_cpus=1,
     of the per-ring compiled closures (identical behaviour)."""
     napi = irq_mode == "napi"
     kernel = make_kernel(nr_cpus=nr_cpus)
+    _install_health(kernel, health)
     link = EthernetLink(kernel, bits_per_second=100_000_000, name="100M")
     nic = Rtl8139Device(kernel, link, rx_coalesce_ns=rx_coalesce_ns)
     kernel.pci.add_function(nic.pci)
@@ -134,7 +156,8 @@ def make_8139too_rig(decaf=False, irq_mode="napi", nr_cpus=1,
 
 
 def make_e1000_rig(decaf=False, options=None, irq_mode="napi", nr_cpus=1,
-                   num_queues=1, rx_pending_cap=256, compiled=True):
+                   num_queues=1, rx_pending_cap=256, compiled=True,
+                   health=False):
     """``irq_mode="napi"`` (default) polls RX under a softirq budget;
     ``irq_mode="irq"`` keeps the seed per-packet interrupt path and
     disables the device's ITR window so every cause fires an IRQ.
@@ -144,6 +167,7 @@ def make_e1000_rig(decaf=False, options=None, irq_mode="napi", nr_cpus=1,
     virtual CPUs by per-vector IRQ affinity."""
     napi = irq_mode == "napi"
     kernel = make_kernel(nr_cpus=nr_cpus)
+    _install_health(kernel, health)
     link = EthernetLink(kernel, bits_per_second=1_000_000_000, name="1G")
     nic = E1000Device(kernel, link,
                       itr_window_ns=None if napi else 0,
@@ -164,10 +188,11 @@ def make_e1000_rig(decaf=False, options=None, irq_mode="napi", nr_cpus=1,
     return Rig("e1000", kernel, nic, module, decaf, link=link)
 
 
-def make_ens1371_rig(decaf=False, nr_cpus=1):
+def make_ens1371_rig(decaf=False, nr_cpus=1, health=False):
     # The decaf sound driver requires the mutex-based sound library
     # (paper section 3.1.3); the native driver runs on the stock one.
     kernel = make_kernel(sound_use_mutex=decaf, nr_cpus=nr_cpus)
+    _install_health(kernel, health)
     card = Ens1371Device(kernel)
     kernel.pci.add_function(card.pci)
     if decaf:
@@ -181,8 +206,9 @@ def make_ens1371_rig(decaf=False, nr_cpus=1):
     return Rig("ens1371", kernel, card, module, decaf)
 
 
-def make_uhci_rig(decaf=False, nr_cpus=1):
+def make_uhci_rig(decaf=False, nr_cpus=1, health=False):
     kernel = make_kernel(nr_cpus=nr_cpus)
+    _install_health(kernel, health)
     controller = UhciDevice(kernel)
     disk = UsbFlashDiskModel()
     controller.attach(0, disk)
@@ -200,8 +226,9 @@ def make_uhci_rig(decaf=False, nr_cpus=1):
                extra={"disk": disk})
 
 
-def make_psmouse_rig(decaf=False, nr_cpus=1):
+def make_psmouse_rig(decaf=False, nr_cpus=1, health=False):
     kernel = make_kernel(nr_cpus=nr_cpus)
+    _install_health(kernel, health)
     port = kernel.input.new_serio_port()
     mouse = Ps2MouseDevice(kernel)
     mouse.attach(port)

@@ -10,7 +10,7 @@ import struct
 
 from ..kernel.usb import usb_sndbulkpipe
 from ..trace import begin_trace, finish_trace
-from .result import WorkloadResult
+from .result import WorkloadResult, health_summary_of
 
 BLOCK_SIZE = 512
 TAR_HEADER_CPU_NS = 20_000
@@ -69,6 +69,7 @@ def tar_to_flash(rig, archive_bytes=2 * 1024 * 1024, file_size=64 * 1024,
     ds = rig.deferred_stats()
     result = WorkloadResult(
         name="tar",
+        health_summary=health_summary_of(kernel),
         duration_s=elapsed_s,
         bytes_moved=written,
         packets=nfiles,

@@ -66,3 +66,78 @@ class TestPrintkTracepoint:
     def test_untraced_printk_emits_nothing(self, kernel):
         kernel.printk("quiet")  # no tracer installed; must not raise
         assert kernel.tracer is None
+
+
+class TestRingAtCapacity:
+    """Wraparound behavior: eviction order, filtered views, and
+    health-plane writers logging while the ring is evicting."""
+
+    def test_eviction_is_strictly_oldest_first(self):
+        k = Kernel(log_capacity=4)
+        for i in range(10):
+            k.printk("m%d" % i)
+        # Every eviction dropped the numerically-lowest survivor.
+        assert [m for _t, _l, m in k.dmesg()] == ["m6", "m7", "m8", "m9"]
+        assert k.log_dropped == 6
+
+    def test_interleaved_levels_evict_by_age_not_severity(self):
+        """Eviction is pure FIFO: an old error goes before a new debug."""
+        k = Kernel(log_capacity=3)
+        k.printk("old-error", level="err")
+        k.printk("mid", level="debug")
+        k.printk("new1")
+        k.printk("new2")
+        assert [m for _t, _l, m in k.dmesg()] == ["mid", "new1", "new2"]
+
+    def test_dmesg_level_filter_after_wraparound(self):
+        """The severity floor applies to survivors only -- filtered
+        views see the post-eviction ring, not ghosts of dropped lines."""
+        k = Kernel(log_capacity=4)
+        k.printk("early-warn", level="warn")   # will be evicted
+        for i in range(4):
+            k.printk("info%d" % i)
+        k.printk("late-warn", level="warn")
+        assert [m for _t, _l, m in k.dmesg(level="warn")] == ["late-warn"]
+        assert len(k.dmesg()) == 4
+        assert k.log_dropped == 2
+
+    def test_health_writers_log_through_eviction(self):
+        """Watchdog fires printk into a full ring: the warning lands,
+        eviction counts, and the flight recorder keeps its own copy
+        even after the printk line ages out of the ring."""
+        from repro.health import HealthPlane
+
+        k = Kernel(log_capacity=3)
+        plane = HealthPlane(k, watchdogs=False).install()
+        try:
+            for i in range(3):
+                k.printk("fill%d" % i)
+            k.printk("health: watchdog hung_task on eth0", level="warn")
+            assert k.log_dropped == 1
+            assert any("watchdog" in m for _t, _l, m in k.dmesg())
+            # Age the warning out of the printk ring entirely.
+            for i in range(3):
+                k.printk("later%d" % i)
+            assert not any("watchdog" in m for _t, _l, m in k.dmesg())
+            # The flight ring is independent of printk eviction.
+            flight_msgs = [args.get("msg", "") for _t, _c, name, args
+                           in plane.flight.ring if name == "printk"]
+            assert any("watchdog" in m for m in flight_msgs)
+        finally:
+            plane.uninstall()
+
+    def test_dump_snapshots_ring_mid_eviction(self):
+        """A crash dump taken while the ring is at capacity carries
+        exactly the surviving tail."""
+        from repro.health import HealthPlane
+
+        k = Kernel(log_capacity=2)
+        plane = HealthPlane(k, watchdogs=False).install()
+        try:
+            for i in range(5):
+                k.printk("m%d" % i)
+            report = plane.dump("mid-eviction")
+            assert [e["msg"] for e in report["dmesg"]] == ["m3", "m4"]
+            assert report["kstat"]["kernel.log_dropped"] == 3
+        finally:
+            plane.uninstall()

@@ -67,6 +67,20 @@ class TestDiff:
         doc = {"x": 1, "nested": {"y": [1, 2]}}
         assert diff_docs(doc, doc, out=io.StringIO()) == 0
 
+    def test_one_sided_counters_are_new_gone_not_percentages(self):
+        """A counter present in only one doc must not render as a
+        -100% "regression" (or divide by zero): it lands in the
+        explicit new/gone section with no percentage at all."""
+        a = {"x": 100, "vanished": 7}
+        b = {"x": 100, "appeared": 3}
+        out = io.StringIO()
+        flagged = diff_docs(a, b, threshold_pct=10.0, out=out)
+        text = out.getvalue()
+        assert flagged == 2
+        assert "-100" not in text
+        assert "1 new, 1 gone" in text
+        assert "appeared" in text and "vanished" in text
+
     def test_trace_docs_compare_summaries(self, tmp_path, capsys):
         a = _traced_doc(tmp_path, "a.json")
         b = _traced_doc(tmp_path, "b.json")
