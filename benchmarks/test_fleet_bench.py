@@ -1,0 +1,120 @@
+"""Fleet scale: a mixed hotplug fleet under one kernel.
+
+One ``make_kernel(nr_cpus=4)`` hosts N device instances spread over
+five families (e1000, rtl8139, uhci, ens1371, psmouse), half of them
+decaf drivers with supervised user halves.  The harness interleaves
+per-device traffic with hotplug churn (remove -> re-probe waves) and
+fleet-wide fault injection, then reports sustained event throughput,
+bytes of simulator memory per device, and the recovery-latency
+distribution.
+
+Acceptance (ISSUE 9):
+
+* device-model work dominates: >= 60% of profiled CPU time lands in
+  ``repro/devices/`` + the compiled fastpaths, i.e. harness overhead
+  stays a minority cost at N=1024;
+* >= 99% of injected faults recover, with p50/p99 outage latency
+  recorded (outage = JVM restart + full driver re-init replay, so the
+  p99 lands near 2s of *virtual* time -- that is the paper's recovery
+  model, not harness slack).
+
+Results go to ``BENCH_fleet.json``.  The full N=1024 run takes a few
+wall minutes; CI smoke shrinks it via ``FLEET_BENCH_DEVICES``.
+"""
+
+import json
+import os
+
+from repro.fleet import FleetHarness, FleetSpec
+
+RESULT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_fleet.json")
+
+N_DEVICES = int(os.environ.get("FLEET_BENCH_DEVICES", "1024"))
+DURATION_MS = int(os.environ.get("FLEET_BENCH_DURATION_MS", "200"))
+
+MIN_DEVICE_MODEL_FRACTION = 0.60
+MIN_RECOVERY_RATE = 0.99
+
+
+def test_fleet_bench(table_printer):
+    spec = FleetSpec(n_devices=N_DEVICES, decaf_fraction=0.5, nr_cpus=4,
+                     duration_ms=DURATION_MS, fault_period_ms=10,
+                     seed=1234)
+    harness = FleetHarness(spec)
+    harness.measure_build()
+    harness.run()
+    harness.profile_run()
+    result = harness.result()
+    harness.teardown()
+
+    # Teardown must leave the shared kernel empty: a fleet that can't
+    # unwind cleanly would leak across the churn waves too.
+    kernel = harness.kernel
+    assert len(kernel.net.devices) == 0
+    assert len(kernel.usb.devices) == 0
+    assert len(kernel.sound.cards) == 0
+    assert len(kernel.input.devices) == 0
+    assert len(kernel.modules.loaded) == 0
+
+    buckets = result.extra["profile_buckets"]
+    table_printer(
+        "fleet: %d mixed devices, %d CPUs, churn + faults"
+        % (N_DEVICES, spec.nr_cpus),
+        ["Metric", "Value"],
+        [
+            ("devices (decaf/legacy)", "%d/%d" % (
+                result.extra["decaf_slots"], result.extra["legacy_slots"])),
+            ("events/s sustained", "%.0f" % result.events_per_sec),
+            ("sim bytes/device", "%.0f" % result.mem_bytes_per_device),
+            ("churn cycles", result.churn_cycles),
+            ("probes/removes", "%d/%d" % (
+                result.extra["probes"], result.extra["removes"])),
+            ("faults -> recoveries", "%d -> %d" % (
+                result.faults_injected, result.recoveries)),
+            ("recovery rate", "%.3f" % result.recovery_rate),
+            ("recovery p50/p99 ms", "%.0f/%.0f" % (
+                result.recovery_p50_ms, result.recovery_p99_ms)),
+            ("device-model fraction", "%.3f" % result.device_model_fraction),
+            ("wall s", "%.1f" % result.extra["wall_elapsed_s"]),
+        ],
+    )
+
+    payload = {
+        "config": {
+            "n_devices": N_DEVICES,
+            "duration_ms": DURATION_MS,
+            "nr_cpus": spec.nr_cpus,
+            "decaf_fraction": spec.decaf_fraction,
+            "seed": spec.seed,
+        },
+        "events_per_sec": result.events_per_sec,
+        "mem_bytes_per_device": result.mem_bytes_per_device,
+        "churn_cycles": result.churn_cycles,
+        "probes": result.extra["probes"],
+        "removes": result.extra["removes"],
+        "faults_injected": result.faults_injected,
+        "recoveries": result.recoveries,
+        "recovery_rate": result.recovery_rate,
+        "recovery_p50_ms": result.recovery_p50_ms,
+        "recovery_p99_ms": result.recovery_p99_ms,
+        "device_model_fraction": result.device_model_fraction,
+        "profile_buckets": buckets,
+        "packets": result.packets,
+        "kernel_user_crossings": result.kernel_user_crossings,
+        "wall_elapsed_s": result.extra["wall_elapsed_s"],
+    }
+    with open(os.path.abspath(RESULT_PATH), "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    assert result.events_per_sec > 0
+    assert result.mem_bytes_per_device > 0
+    assert result.churn_cycles > 0
+    assert result.faults_injected > 0, "no fault ever met a crossing"
+    assert result.recovery_rate >= MIN_RECOVERY_RATE, (
+        "only %.3f of injected faults recovered" % result.recovery_rate)
+    assert result.recovery_p99_ms > 0
+    assert result.device_model_fraction >= MIN_DEVICE_MODEL_FRACTION, (
+        "harness overhead dominates: device-model fraction %.3f "
+        "(buckets: %r)" % (result.device_model_fraction, buckets))

@@ -50,7 +50,10 @@ class NuclearRuntime:
         try:
             return self.channel.upcall(func, args, extra)
         finally:
-            if irq is not None:
+            if irq is not None and self.kernel.irq.irq_disabled(irq):
+                # Skip the re-enable when the upcall tore the driver
+                # down: free_irq resets the line's mask depth, so our
+                # disable no longer has a balancing slot.
                 self.kernel.irq.enable_irq(irq)
 
     # -- deferred one-way notifications ----------------------------------------
@@ -78,7 +81,9 @@ class NuclearRuntime:
         try:
             return self.channel.flush_deferred()
         finally:
-            if irq is not None:
+            if irq is not None and self.kernel.irq.irq_disabled(irq):
+                # As in upcall(): a teardown during the flush freed the
+                # line and reset its mask depth.
                 self.kernel.irq.enable_irq(irq)
 
     # -- timer deferral ------------------------------------------------------------

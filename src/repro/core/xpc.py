@@ -175,6 +175,15 @@ class Xpc:
         # whole-kernel aggregate.
         kernel.kstat.register("xpc", self._kstat)
 
+    def close(self):
+        """Drop the kstat registration (driver-instance teardown).
+
+        Without this every probe/remove cycle of a decaf driver leaves
+        one more provider behind and kstat snapshots grow without
+        bound under hotplug churn.
+        """
+        self.kernel.kstat.unregister("xpc", self._kstat)
+
     def _kstat(self):
         return {
             "crossings": self.kernel_user_crossings,
@@ -301,6 +310,9 @@ class XpcChannel:
         if self.closed:
             return
         self.closed = True
+        health = self.xpc.kernel.health
+        if health is not None:
+            health.unwatch_channel(self)
         if self._deferred:
             self.xpc.deferred_dropped += len(self._deferred)
             self._deferred.clear()

@@ -67,6 +67,11 @@ TD_RING_ENTRIES = 64
 # USB 1.1 full-speed bulk bandwidth: ~19 64-byte packets per 1 ms frame.
 FULL_SPEED_BYTES_PER_FRAME = 1216
 FRAME_NS = 1_000_000
+# Empty frames before the controller stops scheduling frame events and
+# coasts.  Submits are followed by a register access (the driver's
+# status check doubles as a doorbell), which resumes 1 ms framing with
+# the frame counter caught up, so coasting is invisible to drivers.
+IDLE_FRAMES_LIMIT = 4
 
 
 class UhciDevice:
@@ -101,6 +106,8 @@ class UhciDevice:
         self._td_index = 0
         self._frame_event = None
         self._running = False
+        self._idle_frames = 0
+        self._coast_since_ns = None
 
     # -- topology --------------------------------------------------------------
 
@@ -124,6 +131,7 @@ class UhciDevice:
     # -- I/O handler interface ------------------------------------------------------
 
     def read(self, offset, size):
+        self._kick()
         if offset == USBCMD:
             return self.cmd
         if offset == USBSTS:
@@ -139,6 +147,7 @@ class UhciDevice:
         return 0
 
     def write(self, offset, value, size):
+        self._kick()
         if offset == USBCMD:
             self._write_cmd(value)
         elif offset == USBSTS:
@@ -195,6 +204,25 @@ class UhciDevice:
             FRAME_NS, self._process_frame, name="uhci-frame"
         )
 
+    def _kick(self):
+        """Resume framing after an idle coast (any register access).
+
+        While coasting no frame events are scheduled at all -- an idle
+        controller costs the simulator nothing.  The frame counter
+        catches up from the coast duration so FRNUM reads stay
+        consistent with wall (virtual) time.
+        """
+        if self._coast_since_ns is None or not self._running:
+            return
+        elapsed = self._kernel.clock.now_ns - self._coast_since_ns
+        skipped = elapsed // FRAME_NS
+        self.frnum = (self.frnum + skipped) & 0x7FF
+        self.frames_processed += skipped
+        self._coast_since_ns = None
+        self._idle_frames = 0
+        if self._frame_event is None:
+            self._schedule_frame()
+
     def _process_frame(self):
         self._frame_event = None
         if not self._running:
@@ -231,6 +259,12 @@ class UhciDevice:
             self.sts |= STS_USBINT
             if self.intr:
                 self._kernel.irq.raise_irq(self.irq)
+            self._idle_frames = 0
+        else:
+            self._idle_frames += 1
+            if self._idle_frames >= IDLE_FRAMES_LIMIT:
+                self._coast_since_ns = self._kernel.clock.now_ns
+                return  # coast: no frame event until the next doorbell
         self._schedule_frame()
 
     def _execute_td(self, buf, length, flags, dev_addr, endpoint):

@@ -39,6 +39,7 @@ class E1000Nucleus:
         self.adapter = None
         self.netdev = None
         self.watchdog_timer = None
+        self.watchdog_period_ns = 2_000_000_000  # fleet slots stretch this
         self.irq_requested = False
         self.module_options = None
         self.pci_glue = _PciGlue(self)
@@ -166,7 +167,7 @@ class E1000Nucleus:
             self.watchdog_timer = self.plumbing.nuclear.defer_timer(
                 self._watchdog_work, name="e1000-watchdog"
             )
-        self.watchdog_timer.mod_timer_after(2_000_000_000)
+        self.watchdog_timer.mod_timer_after(self.watchdog_period_ns)
 
     def _watchdog_work(self, _data):
         if self.decaf is None or self.adapter is None:
@@ -187,7 +188,7 @@ class E1000Nucleus:
             )
             self.plumbing.flush_notifications()
         if self.watchdog_timer is not None:
-            self.watchdog_timer.mod_timer_after(2_000_000_000)
+            self.watchdog_timer.mod_timer_after(self.watchdog_period_ns)
 
     def k_stop_watchdog(self):
         if self.watchdog_timer is not None:

@@ -164,6 +164,7 @@ class DecafPlumbing:
         rigs do not accumulate opaque-handle entries across loads.
         """
         self.channel.close()
+        self.xpc.close()
 
     def downcall_checked(self, func, args=(), extra=None, exc_type=None):
         """Decaf -> kernel call that raises on a negative errno return."""

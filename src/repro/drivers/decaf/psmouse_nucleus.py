@@ -24,7 +24,9 @@ class PsmouseNucleus:
         self.plumbing = None
         self.decaf = None
         self.serio = None
+        self.port_hint = None  # fleet slots pin their own serio port
         self.resync_timer = None
+        self.resync_period_ns = 1_000_000_000  # fleet slots stretch this
 
     # -- module lifecycle ------------------------------------------------------
 
@@ -32,7 +34,8 @@ class PsmouseNucleus:
         ports = self.kernel.input.serio_ports
         if not ports:
             return -self.linux.ENODEV
-        self.serio = ports[0]
+        self.serio = self.port_hint if self.port_hint is not None \
+            else ports[0]
         self.plumbing = DecafPlumbing(self.kernel, "psmouse")
         self.decaf = PsmouseDecafDriver(self.plumbing.decaf_rt, self)
         self.plumbing.decaf_rt.start()
@@ -85,7 +88,7 @@ class PsmouseNucleus:
         self.resync_timer = self.plumbing.nuclear.defer_timer(
             self._resync_work, name="psmouse-resync"
         )
-        self.resync_timer.mod_timer_after(1_000_000_000)
+        self.resync_timer.mod_timer_after(self.resync_period_ns)
 
     def stop_resync(self):
         if self.resync_timer is not None:
@@ -100,7 +103,7 @@ class PsmouseNucleus:
             args=[(legacy._state.psmouse, psmouse_struct)],
         )
         if self.resync_timer is not None:
-            self.resync_timer.mod_timer_after(1_000_000_000)
+            self.resync_timer.mod_timer_after(self.resync_period_ns)
 
     # -- kernel entry points ------------------------------------------------------
 

@@ -37,6 +37,7 @@ class Rtl8139Nucleus:
         self.decaf = None
         self.pdev = None
         self.link_work_timer = None
+        self.link_poll_period_ns = 2_000_000_000  # fleet slots stretch this
         self.irq_requested = False
         self.pci_glue = _PciGlue(self)
 
@@ -135,7 +136,7 @@ class Rtl8139Nucleus:
         self.link_work_timer = self.plumbing.nuclear.defer_timer(
             self._link_watch_work, name="8139too-thread"
         )
-        self.link_work_timer.mod_timer_after(2_000_000_000)
+        self.link_work_timer.mod_timer_after(self.link_poll_period_ns)
 
     def stop_link_watch(self):
         if self.link_work_timer is not None:
@@ -149,7 +150,7 @@ class Rtl8139Nucleus:
             self.decaf.thread, args=[(legacy._state.tp, rtl8139_private)]
         )
         if self.link_work_timer is not None:
-            self.link_work_timer.mod_timer_after(2_000_000_000)
+            self.link_work_timer.mod_timer_after(self.link_poll_period_ns)
 
     # -- kernel entry points (downcalls from the decaf driver) -----------------------
 

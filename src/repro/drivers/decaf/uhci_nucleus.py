@@ -35,6 +35,7 @@ class UhciNucleus:
         self.decaf = None
         self.pdev = None
         self.rh_poll_timer = None
+        self.rh_poll_period_ns = 256_000_000  # fleet slots stretch this
         self.pci_glue = _PciGlue(self)
 
     def init(self):
@@ -92,7 +93,7 @@ class UhciNucleus:
         self.rh_poll_timer = self.plumbing.nuclear.defer_timer(
             self._rh_poll_work, name="uhci-rh-poll"
         )
-        self.rh_poll_timer.mod_timer_after(256_000_000)
+        self.rh_poll_timer.mod_timer_after(self.rh_poll_period_ns)
 
     def stop_rh_poll(self):
         if self.rh_poll_timer is not None:
@@ -107,7 +108,7 @@ class UhciNucleus:
             args=[(legacy._state.uhci, uhci_hcd_state)],
         )
         if self.rh_poll_timer is not None:
-            self.rh_poll_timer.mod_timer_after(256_000_000)
+            self.rh_poll_timer.mod_timer_after(self.rh_poll_period_ns)
 
     # -- kernel entry points ------------------------------------------------------
 
@@ -145,7 +146,8 @@ class UhciNucleus:
         err = legacy.uhci_start(legacy._state.uhci)
         if err:
             return err
-        self.linux.usb_register_hcd(UhciHcdOps())
+        legacy._state.hcd_ops = UhciHcdOps()
+        self.linux.usb_register_hcd(legacy._state.hcd_ops)
         legacy.uhci_scan_ports(legacy._state.uhci)
         return 0
 
@@ -154,6 +156,9 @@ class UhciNucleus:
         for device in list(legacy._state.port_devices):
             self.linux.usb_disconnect_device(device)
         legacy._state.port_devices = []
+        if legacy._state.hcd_ops is not None:
+            self.linux.usb_unregister_hcd(legacy._state.hcd_ops)
+            legacy._state.hcd_ops = None
         legacy.uhci_stop(legacy._state.uhci)
         return 0
 

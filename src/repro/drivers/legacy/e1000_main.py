@@ -1444,6 +1444,7 @@ def _build_compiled_poll(adapter, q):
             pool_of_skb = skb._pool
             if pool_of_skb is not None:
                 skb._pool = None
+                skb.dev = None  # no stale device ref in the slot cache
                 if pool_of_skb is pool:
                     recycles += 1
                     free.append(skb._slot)

@@ -459,16 +459,23 @@ def psmouse_exit():
 
 
 class PsmouseSerioGlue:
-    """Binds the driver to the first serio port at insmod."""
+    """Binds the driver to a serio port at insmod.
 
-    def __init__(self):
+    ``port`` selects which port (a fleet kernel has one per mouse);
+    the default keeps the single-device behaviour of binding the
+    first one.
+    """
+
+    def __init__(self, port=None):
         self.serio = None
+        self._preferred = port
 
     def connect(self, kernel):
         ports = kernel.input.serio_ports
         if not ports:
             return -linux.ENODEV if linux else -19
-        self.serio = ports[0]
+        self.serio = self._preferred if self._preferred is not None \
+            else ports[0]
         return psmouse_connect(self.serio)
 
     def disconnect(self):

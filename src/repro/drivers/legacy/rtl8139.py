@@ -662,6 +662,7 @@ def _build_compiled_fastpath(dev, tp):
             pool_of_skb = skb._pool
             if pool_of_skb is not None:
                 skb._pool = None
+                skb.dev = None  # no stale device ref in the slot cache
                 if pool_of_skb is pool:
                     recycles += 1
                     free.append(skb._slot)
@@ -835,6 +836,7 @@ def _build_compiled_fastpath(dev, tp):
                 pool_of_skb = skb._pool
                 if pool_of_skb is not None:
                     skb._pool = None
+                    skb.dev = None  # no stale device ref in the slot cache
                     if pool_of_skb is pool:
                         recycles += 1
                         p_free.append(skb._slot)

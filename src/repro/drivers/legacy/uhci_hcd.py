@@ -222,6 +222,11 @@ def uhci_urb_enqueue(urb):
         "urb": urb, "dma": dma, "slots": slots, "actual": 0,
     }
     linux.spin_unlock_irqrestore(_state.lock)
+    # Confirm the controller is still running before reporting the URB
+    # queued; the register access also serves as the doorbell that ends
+    # an idle-coast, so the new TDs execute in the next frame.
+    if not uhci_readw(uhci, USBCMD) & CMD_RS:
+        return -linux.EIO
     return 0
 
 
@@ -335,7 +340,7 @@ def uhci_scan_ports(uhci):
                                              product_id=0x5150)
             device = UsbDevice(descriptor, name="flash-disk")
             device.model = model
-            address = linux.usb_connect_device(device)
+            address = linux.usb_connect_device(device, hcd=_state.hcd_ops)
             model.set_address(address)
             device.address = address
             _state.port_devices.append(device)
@@ -353,6 +358,7 @@ def _uhci_port_model(port):
 
 
 _state.device_model_hook = None
+_state.hcd_ops = None
 
 
 # ---------------------------------------------------------------------------
@@ -404,7 +410,8 @@ def uhci_pci_probe(pdev):
         uhci_pci_probe_unwind(pdev)
         return err
 
-    linux.usb_register_hcd(UhciHcdOps())
+    _state.hcd_ops = UhciHcdOps()
+    linux.usb_register_hcd(_state.hcd_ops)
     uhci_scan_ports(uhci)
     return 0
 
@@ -423,6 +430,9 @@ def uhci_pci_remove(pdev):
         linux.usb_disconnect_device(device)
     _state.port_devices = []
     uhci_stop(uhci)
+    if _state.hcd_ops is not None:
+        linux.usb_unregister_hcd(_state.hcd_ops)
+        _state.hcd_ops = None
     linux.free_irq(uhci.irq, uhci)
     linux.pci_release_regions(pdev)
     linux.pci_disable_device(pdev)

@@ -351,8 +351,8 @@ class LinuxApi:
     def usb_unregister_hcd(self, hcd):
         self.kernel.usb.unregister_hcd(hcd)
 
-    def usb_connect_device(self, device):
-        return self.kernel.usb.connect_device(device)
+    def usb_connect_device(self, device, hcd=None):
+        return self.kernel.usb.connect_device(device, hcd=hcd)
 
     def usb_disconnect_device(self, device):
         self.kernel.usb.disconnect_device(device)

@@ -1,0 +1,377 @@
+"""The fleet harness: churn engine, fault storm, and metrics.
+
+One :class:`FleetHarness` owns one simulated machine
+(``make_kernel(nr_cpus=..., nr_irqs=N+8)``) carrying N device slots in
+a mixed legacy/decaf configuration.  The run loop interleaves, over
+the kernel's timer wheel and virtual CPUs:
+
+* **traffic** -- a rotating batch of slots moves a little traffic each
+  tick (NIC tx/rx, USB bulk writes, PCM periods, mouse samples);
+* **churn** -- every churn period a sample of bound slots is removed
+  and every previously removed slot is re-probed, so the module
+  loader, IRQ lines, I/O windows and bus bindings cycle continuously
+  under load;
+* **faults** -- every fault period an ``xpc_raise`` plan is armed
+  against a random bound decaf slot; the next crossing raises inside
+  the user half, the boundary contains it, and the slot's supervisor
+  restarts the driver while the rest of the fleet keeps running.
+
+Metrics come out as an extended :class:`WorkloadResult`: sustained
+simulator events per wall-clock second, tracemalloc bytes per device
+slot, the fault recovery rate with p50/p99 fault-to-recovered latency,
+and (from an optional profiled phase) the fraction of host CPU spent
+in the device models.
+"""
+
+import cProfile
+import gc
+import os
+import pstats
+import random
+import time
+import tracemalloc
+
+from ..faults import FaultPlan, FaultSpec
+from ..kernel import make_kernel
+from ..workloads.result import WorkloadResult, health_summary_of
+from .isolate import CLONE_SETS, ClonePool
+from .slots import FAMILIES
+
+DEFAULT_MIX = ("e1000", "rtl8139", "uhci", "ens1371", "psmouse")
+
+# cProfile source-path buckets (tools/profile_hotpath.py's view).  The
+# device-model share counts the device models themselves plus the
+# compiled datapath loops that execute ring work on their behalf.
+_DEVICE_NEEDLES = ("repro/devices/", "kernel/fastpath")
+_BUCKETS = (
+    ("device-model", _DEVICE_NEEDLES),
+    ("driver-loop", ("drivers/legacy/", "drivers/decaf/")),
+    ("io-dispatch", ("kernel/ioports",)),
+    ("net-stack", ("kernel/netdev", "kernel/napi")),
+    ("kernel-core", ("kernel/core", "kernel/events", "kernel/vtime",
+                     "kernel/irq", "kernel/context", "kernel/locks",
+                     "kernel/memory", "kernel/timers", "kernel/usb",
+                     "kernel/sound", "kernel/input", "kernel/pci",
+                     "kernel/module")),
+    ("xpc/marshal", ("core/xpc", "core/marshal", "core/cstruct",
+                     "core/runtime", "drivers/decaf/plumbing")),
+    ("fleet", ("repro/fleet/",)),
+    ("health", ("repro/health/",)),
+)
+
+
+def _bucket_for(path):
+    norm = path.replace(os.sep, "/")
+    for name, needles in _BUCKETS:
+        for needle in needles:
+            if needle in norm:
+                return name
+    return "other"
+
+
+class FleetSpec:
+    """Shape of one fleet run (all knobs deterministic)."""
+
+    def __init__(self, n_devices=128, mix=DEFAULT_MIX, decaf_fraction=0.5,
+                 nr_cpus=4, duration_ms=200, tick_period_ms=1,
+                 tick_batch=None, churn_period_ms=20, churn_fraction=0.04,
+                 churn_max=8, fault_period_ms=10, max_recoveries=1000,
+                 settle_ms=60, seed=1234):
+        if not 1 <= n_devices <= 4096:
+            raise ValueError("n_devices must be 1..4096")
+        unknown = set(mix) - set(FAMILIES)
+        if unknown:
+            raise ValueError("unknown families: %s" % sorted(unknown))
+        self.n_devices = n_devices
+        self.mix = tuple(mix)
+        self.decaf_fraction = decaf_fraction
+        self.nr_cpus = nr_cpus
+        self.duration_ms = duration_ms
+        self.tick_period_ms = tick_period_ms
+        # How many slots move traffic per tick; default keeps one full
+        # rotation through the fleet every ~16 ticks regardless of N.
+        self.tick_batch = tick_batch or max(8, n_devices // 16)
+        self.churn_period_ms = churn_period_ms
+        self.churn_fraction = churn_fraction
+        # Cap on slots churned per event: a decaf re-probe costs real
+        # virtual time (JVM startup), so unbounded churn at N=1024
+        # would make every churn event a multi-minute stall.
+        self.churn_max = churn_max
+        self.fault_period_ms = fault_period_ms  # 0 disables faults
+        self.max_recoveries = max_recoveries
+        self.settle_ms = settle_ms
+        self.seed = seed
+
+
+class FleetHarness:
+    def __init__(self, spec):
+        self.spec = spec
+        self.kernel = make_kernel(nr_cpus=spec.nr_cpus,
+                                  nr_irqs=spec.n_devices + 8,
+                                  sound_use_mutex=True)
+        self.pool = ClonePool()
+        self.rng = random.Random(spec.seed)
+        self.slots = []
+        self._parked = []        # removed slots awaiting re-probe
+        self._plans = []         # every fault plan ever armed
+        self.churn_cycles = 0    # completed remove -> re-probe cycles
+        self.removes = 0
+        self.mem_bytes_per_device = 0.0
+        self.events_per_sec = 0.0
+        self.wall_elapsed_s = 0.0
+        self.device_model_fraction = 0.0
+        self.profile_buckets = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_slot(self, index):
+        spec = self.spec
+        family = spec.mix[index % len(spec.mix)]
+        decaf = self.rng.random() < spec.decaf_fraction
+        slot = FAMILIES[family](index, decaf=decaf)
+        slot.attach(self.kernel, self.pool.acquire(family, decaf))
+        slot.probe(max_recoveries=spec.max_recoveries)
+        self.slots.append(slot)
+
+    def build(self):
+        """Create and probe every slot; waits for links to settle."""
+        for index in range(self.spec.n_devices):
+            self._build_slot(index)
+        self.kernel.run_for_ms(self.spec.settle_ms)
+        return self
+
+    def measure_build(self, sample=64):
+        """Like :meth:`build`, with tracemalloc over a slot sample.
+
+        tracemalloc slows slot construction by more than an order of
+        magnitude, so only the first ``sample`` slots build traced (the
+        per-device cost is uniform by construction: same families, same
+        clone sets); the rest build at full speed.
+        """
+        spec = self.spec
+        sample = min(sample, spec.n_devices)
+        started_here = not tracemalloc.is_tracing()
+        if started_here:
+            tracemalloc.start()
+        gc.collect()
+        before = tracemalloc.get_traced_memory()[0]
+        try:
+            for index in range(sample):
+                self._build_slot(index)
+            gc.collect()
+            after = tracemalloc.get_traced_memory()[0]
+        finally:
+            if started_here:
+                tracemalloc.stop()
+        self.mem_bytes_per_device = max(0.0, (after - before) / sample)
+        for index in range(sample, spec.n_devices):
+            self._build_slot(index)
+        self.kernel.run_for_ms(spec.settle_ms)
+        return self
+
+    # -- the run loop ---------------------------------------------------------
+
+    def run(self, duration_ms=None):
+        """Traffic + churn + faults for ``duration_ms`` of tick rounds.
+
+        The loop runs ``duration_ms / tick_period_ms`` tick rounds and
+        schedules churn and fault events by round count, not by virtual
+        deadline: a single recovery (JVM restart, 220ms) or a decaf
+        re-probe costs more virtual time than a whole quiet run, so
+        virtual-deadline scheduling would let one recovery starve every
+        other event.  Virtual time still advances faithfully -- the
+        reported ``duration_s`` includes whatever the big events cost.
+        """
+        spec = self.spec
+        kernel = self.kernel
+        duration_ms = spec.duration_ms if duration_ms is None else duration_ms
+        period_ns = spec.tick_period_ms * 1_000_000
+        rounds = max(1, duration_ms // spec.tick_period_ms)
+        churn_every = max(1, spec.churn_period_ms // spec.tick_period_ms)
+        fault_every = (max(1, spec.fault_period_ms // spec.tick_period_ms)
+                       if spec.fault_period_ms else 0)
+        cursor = 0
+        nslots = len(self.slots)
+        events0 = kernel.events_dispatched
+        wall0 = time.perf_counter()
+        for rnd in range(1, rounds + 1):
+            for j in range(min(spec.tick_batch, nslots)):
+                slot = self.slots[(cursor + j) % nslots]
+                if slot.bound:
+                    slot.tick()
+            cursor += spec.tick_batch
+            if rnd % churn_every == 0:
+                self._churn_event()
+            if fault_every and rnd % fault_every == 0:
+                self._fault_event()
+            kernel.run_for_ns(period_ns)
+        self._settle()
+        self.wall_elapsed_s += time.perf_counter() - wall0
+        elapsed = time.perf_counter() - wall0
+        if elapsed > 0:
+            self.events_per_sec = ((kernel.events_dispatched - events0)
+                                   / elapsed)
+        return self
+
+    def profile_run(self, duration_ms=40):
+        """A short profiled phase: fills the device-model fraction."""
+        saved_rate = self.events_per_sec  # don't let profiler overhead
+        profiler = cProfile.Profile()     # pollute the sustained rate
+        profiler.enable()
+        try:
+            self.run(duration_ms)
+        finally:
+            profiler.disable()
+            self.events_per_sec = saved_rate or self.events_per_sec
+        stats = pstats.Stats(profiler)
+        buckets = {}
+        for (path, _line, _fn), (_cc, _nc, tottime, _ct, _callers) \
+                in stats.stats.items():
+            buckets[_bucket_for(path)] = (
+                buckets.get(_bucket_for(path), 0.0) + tottime)
+        # Profiler bookkeeping shows up under "other" with builtins;
+        # keep it -- the fraction should be conservative, not flattered.
+        total = sum(buckets.values())
+        self.profile_buckets = buckets
+        self.device_model_fraction = (
+            buckets.get("device-model", 0.0) / total if total else 0.0)
+        return self
+
+    # -- churn + faults --------------------------------------------------------
+
+    def _churn_event(self):
+        """Re-probe everything parked, then park a fresh sample."""
+        spec = self.spec
+        for slot in self._parked:
+            slot.probe(max_recoveries=spec.max_recoveries)
+            self.churn_cycles += 1
+        self._parked = []
+        bound = [s for s in self.slots if s.bound]
+        k = max(1, min(spec.churn_max,
+                       int(len(bound) * spec.churn_fraction)))
+        for slot in self.rng.sample(bound, min(k, len(bound))):
+            slot.remove()
+            self.removes += 1
+            self._parked.append(slot)
+
+    def _fault_event(self):
+        """Arm one transient user-half fault on a random decaf slot."""
+        candidates = [s for s in self.slots
+                      if s.decaf and s.bound and not s.recovery_pending()]
+        if not candidates:
+            return
+        slot = self.rng.choice(candidates)
+        plan = FaultPlan([FaultSpec("xpc_raise")],
+                         name="fleet-%s" % slot.name)
+        slot.inject_faults(plan)
+        self._plans.append(plan)
+        # The decaf datapaths are engineered to cross rarely; poke a
+        # control-plane op so the armed fault meets a crossing now.
+        slot.poke()
+
+    def _settle(self):
+        """Drain pending recoveries so end-of-run counters are stable."""
+        kernel = self.kernel
+        for _ in range(50):
+            if not any(s.bound and s.recovery_pending()
+                       for s in self.slots):
+                break
+            kernel.run_for_ms(5)
+        for slot in self.slots:
+            sup = slot.supervisor
+            if (sup is not None and slot.channel is not None
+                    and slot.channel.failed and not sup.gave_up):
+                sup.recover()
+
+    # -- teardown + metrics ----------------------------------------------------
+
+    def teardown(self):
+        """Remove every slot and pool its clone namespaces."""
+        for slot in self._parked:
+            if slot not in self.slots:
+                self.slots.append(slot)
+        self._parked = []
+        for slot in self.slots:
+            if slot.bound:
+                slot.remove()
+            if slot.clones is not None:
+                self.pool.release(slot.family, slot.decaf, slot.clones)
+                slot.clones = None
+        return self
+
+    def faults_fired(self):
+        return sum(plan.fired for plan in self._plans)
+
+    def recoveries(self):
+        return sum(slot.recoveries_total() for slot in self.slots)
+
+    def outage_samples_ns(self):
+        out = []
+        for slot in self.slots:
+            out.extend(slot.harvest_outages())
+        return out
+
+    def result(self, name="fleet"):
+        kernel = self.kernel
+        samples = sorted(self.outage_samples_ns())
+        fired = self.faults_fired()
+        recovered = self.recoveries()
+        crossings = sum(s.channel.xpc.kernel_user_crossings
+                        for s in self.slots if s.channel is not None)
+        return WorkloadResult(
+            name=name,
+            health_summary=health_summary_of(kernel),
+            duration_s=kernel.clock.now_ns / 1e9,
+            packets=sum(s.traffic_units for s in self.slots),
+            packets_lost=sum(s.traffic_lost for s in self.slots),
+            cpu_utilization=kernel.cpu.utilization(),
+            kernel_user_crossings=crossings,
+            faults_injected=fired,
+            recoveries=recovered,
+            fleet_devices=self.spec.n_devices,
+            churn_cycles=self.churn_cycles,
+            events_per_sec=self.events_per_sec,
+            mem_bytes_per_device=self.mem_bytes_per_device,
+            recovery_rate=(recovered / fired) if fired else 1.0,
+            recovery_p50_ms=_percentile(samples, 0.50) / 1e6,
+            recovery_p99_ms=_percentile(samples, 0.99) / 1e6,
+            device_model_fraction=self.device_model_fraction,
+            extra={
+                "decaf_slots": sum(1 for s in self.slots if s.decaf),
+                "legacy_slots": sum(1 for s in self.slots if not s.decaf),
+                "probes": sum(s.probes for s in self.slots),
+                "removes": self.removes,
+                "clone_pool": self.pool.stats(),
+                "profile_buckets": {
+                    k: round(v, 4)
+                    for k, v in sorted(self.profile_buckets.items())},
+                "wall_elapsed_s": round(self.wall_elapsed_s, 3),
+            },
+        )
+
+
+def _percentile(sorted_samples, q):
+    if not sorted_samples:
+        return 0.0
+    index = min(len(sorted_samples) - 1,
+                int(q * (len(sorted_samples) - 1) + 0.5))
+    return sorted_samples[index]
+
+
+def fleet_workload(n_devices=128, decaf_fraction=0.5, nr_cpus=4,
+                   duration_ms=200, fault_period_ms=10, profile=False,
+                   seed=1234, spec=None):
+    """Build, run, tear down one fleet; returns the WorkloadResult."""
+    if spec is None:
+        spec = FleetSpec(n_devices=n_devices, decaf_fraction=decaf_fraction,
+                         nr_cpus=nr_cpus, duration_ms=duration_ms,
+                         fault_period_ms=fault_period_ms, seed=seed)
+    harness = FleetHarness(spec)
+    harness.measure_build()
+    harness.run()
+    if profile:
+        harness.profile_run()
+    result = harness.result()
+    harness.teardown()
+    result.extra["harness"] = harness
+    return result

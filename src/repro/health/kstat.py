@@ -45,10 +45,17 @@ class KstatRegistry:
         return provider
 
     def unregister(self, prefix, provider=None):
-        """Drop providers under ``prefix`` (or one specific provider)."""
+        """Drop providers under ``prefix`` (or one specific provider).
+
+        Matches by equality, not identity: providers are usually bound
+        methods, and ``obj.method`` builds a fresh method object on
+        every access, so an identity test would never match what
+        ``register`` stored and the provider would leak on every
+        driver remove.
+        """
         self._providers = [
             (p, fn) for p, fn in self._providers
-            if not (p == prefix and (provider is None or fn is provider))
+            if not (p == prefix and (provider is None or fn == provider))
         ]
 
     # -- explicit cold counters --------------------------------------------

@@ -102,9 +102,18 @@ class HealthPlane:
         if channel not in self.channels:
             self.channels.append(channel)
 
+    def unwatch_channel(self, channel):
+        """Drop a closed channel from the watch list (hotplug churn)."""
+        if channel in self.channels:
+            self.channels.remove(channel)
+
     def register_supervisor(self, supervisor):
         if supervisor not in self.supervisors:
             self.supervisors.append(supervisor)
+
+    def unregister_supervisor(self, supervisor):
+        if supervisor in self.supervisors:
+            self.supervisors.remove(supervisor)
 
     # -- profiler -----------------------------------------------------------
 

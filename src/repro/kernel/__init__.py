@@ -50,7 +50,7 @@ from .usb import UsbCore, UsbDevice, UsbDeviceDescriptor, Urb
 from .vtime import NSEC_PER_MSEC, NSEC_PER_SEC, NSEC_PER_USEC, VirtualClock
 
 
-def make_kernel(costs=None, sound_use_mutex=False, nr_cpus=1):
+def make_kernel(costs=None, sound_use_mutex=False, nr_cpus=1, nr_irqs=32):
     """Build a kernel with all bus/class subsystems attached.
 
     ``sound_use_mutex`` selects the paper's modified sound library
@@ -58,8 +58,10 @@ def make_kernel(costs=None, sound_use_mutex=False, nr_cpus=1):
     stack requires it.  ``nr_cpus`` > 1 builds an SMP kernel: per-CPU
     contexts/accounting/runqueues, CPU-targeted event dispatch, and
     per-CPU NAPI softirqs (see ``repro.kernel.core.VCpu``).
+    ``nr_irqs`` sizes the interrupt controller -- fleet rigs hosting
+    thousands of devices need more than the default 32 lines.
     """
-    kernel = Kernel(costs=costs, nr_cpus=nr_cpus)
+    kernel = Kernel(costs=costs, nr_cpus=nr_cpus, nr_irqs=nr_irqs)
     kernel.pci = PciBus(kernel)
     kernel.net = NetworkCore(kernel)
     kernel.sound = SoundCore(kernel, use_mutex=sound_use_mutex)

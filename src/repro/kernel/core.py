@@ -77,7 +77,7 @@ class VCpu:
 
 class Kernel:
     def __init__(self, costs=None, log_capacity=DEFAULT_LOG_CAPACITY,
-                 nr_cpus=1):
+                 nr_cpus=1, nr_irqs=32):
         if not 1 <= nr_cpus <= MAX_CPUS:
             raise SimulationError("nr_cpus must be 1..%d" % MAX_CPUS)
         self.costs = costs or CostModel()
@@ -93,7 +93,7 @@ class Kernel:
         self.cpus = [VCpu(self, i) for i in range(nr_cpus)]
         self.current_cpu = self.cpus[0]
         self.events = EventQueue(self.clock)
-        self.irq = IrqController(self)
+        self.irq = IrqController(self, nr_irqs=nr_irqs)
         self.memory = MemoryManager(self)
         self.io = IoSpace(self)
         self.modules = ModuleLoader(self)
@@ -127,6 +127,9 @@ class Kernel:
         self._dispatch_entry_busy_ns = 0
         # Unconditional counter of softirq-context dispatches (kstat).
         self.softirq_dispatches = 0
+        # Total events dispatched (all contexts): the fleet harness
+        # reports sustained events/s of the virtual-time core from it.
+        self.events_dispatched = 0
         self.kstat.register("kernel", self._kstat_kernel)
 
         # Bus / class subsystems are attached lazily to keep the core free
@@ -169,6 +172,7 @@ class Kernel:
             "now_ns": self.clock.now_ns,
             "log_dropped": self.log_dropped,
             "softirq_dispatches": self.softirq_dispatches,
+            "events_dispatched": self.events_dispatched,
         }
         for vcpu in self.cpus:
             prefix = "cpu%d" % vcpu.index
@@ -288,6 +292,7 @@ class Kernel:
         if depth == 0:
             self._dispatch_entry_busy_ns = self.cpu._busy_ns
         self._dispatch_depth = depth + 1
+        self.events_dispatched += 1
         try:
             if ev.context == HARDIRQ:
                 context.enter_irq()

@@ -11,6 +11,8 @@ calls out as *inexpressible in Java*: it lives in the decaf runtime's C
 helper routines.  Our decaf runtime wraps these accessors the same way.
 """
 
+from bisect import bisect_left, bisect_right
+
 from .errors import SimulationError
 
 
@@ -37,7 +39,14 @@ class IoRegion:
 class IoSpace:
     def __init__(self, kernel):
         self._kernel = kernel
-        self._regions = []
+        # Regions live in per-space sorted arrays (bases and regions in
+        # lockstep) so lookup is a bisect plus a last-hit memo: a fleet
+        # kernel claims thousands of regions, and a linear scan per
+        # register access dominates its profile.  Index 0 is port
+        # space, index 1 MMIO.
+        self._bases = ([], [])
+        self._sorted = ([], [])
+        self._last_hit = [None, None]
         self.port_accesses = 0
         self.mmio_accesses = 0
         # Conformance tap: a callable(op, region_name, offset, size, value)
@@ -62,23 +71,49 @@ class IoSpace:
     # -- region management (device/bus side) --------------------------------
 
     def register(self, base, size, handler, name, is_mmio):
-        for region in self._regions:
-            if region.is_mmio == is_mmio and not (
-                base + size <= region.base or region.base + region.size <= base
+        space = 1 if is_mmio else 0
+        bases = self._bases[space]
+        regions = self._sorted[space]
+        index = bisect_right(bases, base)
+        # The sorted array is overlap-free, so only the would-be
+        # neighbours can conflict with the new range.
+        for neighbour in (regions[index - 1] if index else None,
+                          regions[index] if index < len(regions) else None):
+            if neighbour is not None and not (
+                base + size <= neighbour.base
+                or neighbour.base + neighbour.size <= base
             ):
                 raise SimulationError(
-                    "I/O region %s overlaps existing region %s" % (name, region.name)
+                    "I/O region %s overlaps existing region %s"
+                    % (name, neighbour.name)
                 )
         region = IoRegion(base, size, handler, name, is_mmio)
-        self._regions.append(region)
+        bases.insert(index, base)
+        regions.insert(index, region)
         return region
 
     def unregister(self, region):
-        self._regions.remove(region)
+        space = 1 if region.is_mmio else 0
+        regions = self._sorted[space]
+        index = bisect_left(self._bases[space], region.base)
+        if index >= len(regions) or regions[index] is not region:
+            raise ValueError("I/O region %s is not registered" % region.name)
+        del self._bases[space][index]
+        del regions[index]
+        if self._last_hit[space] is region:
+            self._last_hit[space] = None
 
     def _find(self, addr, size, is_mmio):
-        for region in self._regions:
-            if region.is_mmio == is_mmio and region.contains(addr, size):
+        space = 1 if is_mmio else 0
+        hit = self._last_hit[space]
+        if hit is not None and hit.contains(addr, size):
+            return hit
+        bases = self._bases[space]
+        index = bisect_right(bases, addr) - 1
+        if index >= 0:
+            region = self._sorted[space][index]
+            if region.contains(addr, size):
+                self._last_hit[space] = region
                 return region
         raise SimulationError(
             "access to unclaimed %s address %#x"

@@ -16,7 +16,7 @@ IRQ_HANDLED = 1
 
 class _IrqLine:
     __slots__ = ("number", "handler", "dev_id", "name", "disable_depth",
-                 "pending", "count")
+                 "pending", "count", "kstat_key")
 
     def __init__(self, number):
         self.number = number
@@ -26,6 +26,9 @@ class _IrqLine:
         self.disable_depth = 0
         self.pending = False
         self.count = 0  # deliveries on this line (/proc/interrupts style)
+        # Pre-rendered kstat key: with thousands of lines the per-line
+        # "%d" format in every snapshot shows up in fleet profiles.
+        self.kstat_key = "line%d.count" % number
 
 
 class IrqController:
@@ -46,7 +49,7 @@ class IrqController:
         out = {"delivered": self.delivered, "spurious": self.spurious}
         for line in self._lines:
             if line.count or line.handler is not None:
-                out["line%d.count" % line.number] = line.count
+                out[line.kstat_key] = line.count
         return out
 
     def _line(self, irq):
@@ -88,6 +91,13 @@ class IrqController:
         line.dev_id = None
         line.name = None
         line.pending = False
+        # The next request_irq must see the line in hardware-reset
+        # state: a mask depth, affinity target, or latched local-pending
+        # bit left behind by the previous owner would mask or mis-steer
+        # the re-probed driver's interrupts.
+        line.disable_depth = 0
+        self._affinity.pop(irq, None)
+        self._local_pending.discard(irq)
 
     def disable_irq(self, irq):
         """Mask one line; nests."""
@@ -249,7 +259,12 @@ class IrqController:
             self._local_disable_depth = depth
             if depth == 0 and self._local_pending:
                 self._deliver_local_pending()
-        self.delivered += 1
-        line.count += 1
         if ret == IRQ_NONE:
+            # Handler declined the interrupt: it counts as spurious
+            # only -- /proc/interrupts-style delivery totals cover
+            # handled interrupts, so spurious ones are not also rolled
+            # into ``delivered``/``line.count``.
             self.spurious += 1
+        else:
+            self.delivered += 1
+            line.count += 1

@@ -56,6 +56,10 @@ class SkBuff:
         pool = self._pool
         if pool is not None:
             self._pool = None
+            # Drop the device back-reference: the pool caches this header
+            # per slot, and a stale ``dev`` would pin a hot-unplugged
+            # device's whole object graph until the slot is reused.
+            self.dev = None
             pool.free(self._slot)
             self._slot = -1
 
@@ -410,6 +414,7 @@ class NetworkCore:
         pool = skb._pool
         if pool is not None:  # inlined skb.recycle()
             skb._pool = None
+            skb.dev = None  # don't pin a hot-unplugged device via the cache
             pool.recycles += 1
             pool._free.append(skb._slot)
             skb._slot = -1

@@ -153,10 +153,23 @@ class Workqueue:
         """Advance virtual time until all currently-queued items have run.
 
         Only drains *this* queue's pending items; unrelated periodic timers
-        in the event queue do not keep flush alive forever.
+        in the event queue do not keep flush alive forever.  An item that
+        re-schedules itself while flush runs is waited for at most once
+        (Linux's flush_workqueue drains the work present at flush time,
+        not a self-rearming item's infinite future), so flush always
+        terminates.
         """
-        while self._pending:
-            deadline = max(
-                item._event.time_ns for item in self._pending if item._event
-            )
-            self._kernel.run_until(deadline)
+        waited = set()
+        while True:
+            batch = [item for item in self._pending if item not in waited]
+            if not batch:
+                break
+            waited.update(batch)
+            deadlines = [item._event.time_ns for item in batch
+                         if item._event is not None
+                         and not item._event.cancelled]
+            if not deadlines:
+                # Every unwaited item lost its event (cancelled under
+                # us); nothing left to advance the clock for.
+                break
+            self._kernel.run_until(max(deadlines))

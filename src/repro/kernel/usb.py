@@ -61,6 +61,7 @@ class UsbDevice:
         self.address = 0
         self.port = None
         self.model = None  # the device model handling transfers
+        self.hcd = None  # the host controller this device hangs off
 
     def __repr__(self):
         return "<UsbDevice %s addr=%d>" % (self.name, self.address)
@@ -93,7 +94,7 @@ EINPROGRESS_STATUS = 115
 class UsbCore:
     def __init__(self, kernel):
         self._kernel = kernel
-        self._hcd = None
+        self._hcds = []
         self._devices = []
         self._next_address = 1
         self.urbs_submitted = 0
@@ -102,22 +103,48 @@ class UsbCore:
     # -- HCD registration ------------------------------------------------------
 
     def register_hcd(self, hcd):
-        """``hcd`` provides urb_enqueue(urb) -> int and urb_dequeue(urb)."""
-        self._hcd = hcd
+        """``hcd`` provides urb_enqueue(urb) -> int and urb_dequeue(urb).
+
+        The core supports many controllers at once (a fleet kernel
+        hosts one per UHCI function); URBs route to the HCD whose
+        root-hub port the target device hangs off.
+        """
+        if hcd not in self._hcds:
+            self._hcds.append(hcd)
+        return hcd
 
     def unregister_hcd(self, hcd):
-        if self._hcd is hcd:
-            self._hcd = None
+        if hcd in self._hcds:
+            self._hcds.remove(hcd)
 
     @property
     def hcd(self):
-        return self._hcd
+        """The most recently registered controller (single-HCD compat)."""
+        return self._hcds[-1] if self._hcds else None
+
+    def _hcd_for(self, device):
+        hcd = getattr(device, "hcd", None)
+        if hcd is not None and hcd in self._hcds:
+            return hcd
+        return self._hcds[-1] if self._hcds else None
 
     # -- device lifecycle (called by HCD on port events) ------------------------
 
-    def connect_device(self, device):
-        device.address = self._next_address
-        self._next_address += 1
+    def connect_device(self, device, hcd=None):
+        if hcd is not None:
+            device.hcd = hcd
+        # Addresses are a per-bus namespace (1..127), as on real USB:
+        # TDs carry the address in one byte, and a fleet of controllers
+        # would otherwise exhaust a global counter under hotplug churn.
+        bus = getattr(device, "hcd", None)
+        used = {d.address for d in self._devices
+                if getattr(d, "hcd", None) is bus}
+        address = 1
+        while address in used and address < 127:
+            address += 1
+        if address in used:
+            return -ENODEV  # bus full
+        device.address = address
         self._devices.append(device)
         return device.address
 
@@ -132,12 +159,13 @@ class UsbCore:
     # -- URB submission ------------------------------------------------------------
 
     def submit_urb(self, urb):
-        if self._hcd is None:
+        hcd = self._hcd_for(urb.device)
+        if hcd is None:
             return -ENODEV
         urb.status = -EINPROGRESS_STATUS
         urb.actual_length = 0
         self.urbs_submitted += 1
-        return self._hcd.urb_enqueue(urb)
+        return hcd.urb_enqueue(urb)
 
     def _giveback_urb(self, urb, status, actual_length):
         """HCD reports completion (usually from its irq handler)."""
@@ -167,8 +195,9 @@ class UsbCore:
         while not done["flag"]:
             t = self._kernel.events.peek_time()
             if t is None or t > deadline:
-                if self._hcd is not None:
-                    self._hcd.urb_dequeue(urb)
+                hcd = self._hcd_for(urb.device)
+                if hcd is not None:
+                    hcd.urb_dequeue(urb)
                 return -ETIMEDOUT, urb.actual_length
             self._kernel.run_until(t)
         return urb.status, urb.actual_length

@@ -57,6 +57,7 @@ class DriverSupervisor:
         self.work_lost = 0        # in-flight units discarded by quiesce
         self.outage_ns = 0        # cumulative fault -> recovered time
         self.last_outage_ns = 0
+        self.outage_samples = []  # per-recovery outage ns (p50/p99 source)
         self.in_progress = False
         self.gave_up = False
         self._work = WorkItem(kernel, self._recovery_work, None,
@@ -73,6 +74,23 @@ class DriverSupervisor:
         health = kernel.health
         if health is not None:
             health.register_supervisor(self)
+
+    def detach(self):
+        """Undo every kernel-global registration this supervisor made.
+
+        Hotplug churn builds and discards supervisors with their driver
+        instances; without detach each one leaks a kstat provider and a
+        health-plane entry, and its pending recovery work item keeps the
+        dead instance alive.
+        """
+        self.kernel.workqueue.cancel_work(self._work)
+        self._work_pending = False
+        self.kernel.kstat.unregister("recovery", self._kstat)
+        health = self.kernel.health
+        if health is not None:
+            health.unregister_supervisor(self)
+        if self.plumbing.supervisor is self:
+            self.plumbing.supervisor = None
 
     def _kstat(self):
         return {
@@ -190,6 +208,7 @@ class DriverSupervisor:
         self.recoveries += 1
         self.last_outage_ns = kernel.clock.now_ns - fault_ns
         self.outage_ns += self.last_outage_ns
+        self.outage_samples.append(self.last_outage_ns)
         tracer = kernel.tracer
         if tracer is not None:
             tracer.span("recovery.restart", start_ns, {

@@ -46,6 +46,15 @@ class WorkloadResult:
     faults_injected: int = 0
     recoveries: int = 0
     packets_lost: int = 0
+    # Fleet harness dimensions (zero outside repro.fleet runs).
+    fleet_devices: int = 0          # concurrent device slots
+    churn_cycles: int = 0           # remove/re-probe cycles performed
+    events_per_sec: float = 0.0     # simulator events per wall-clock second
+    mem_bytes_per_device: float = 0.0  # tracemalloc bytes per device slot
+    recovery_rate: float = 0.0      # recoveries / faults fired
+    recovery_p50_ms: float = 0.0    # median fault->recovered outage
+    recovery_p99_ms: float = 0.0
+    device_model_fraction: float = 0.0  # device-model share of profiled time
     # ktrace summary (Tracer.summary()) when the workload ran traced.
     trace_summary: dict = field(default_factory=dict)
     # HealthPlane.summary() when the kernel ran with a health plane
@@ -92,6 +101,16 @@ class WorkloadResult:
             "recoveries": self.recoveries,
             "packets_lost": self.packets_lost,
         }
+        if self.fleet_devices:
+            row["fleet_devices"] = self.fleet_devices
+            row["churn_cycles"] = self.churn_cycles
+            row["events_per_sec"] = round(self.events_per_sec, 1)
+            row["mem_bytes_per_device"] = round(self.mem_bytes_per_device)
+            row["recovery_rate"] = round(self.recovery_rate, 4)
+            row["recovery_p50_ms"] = round(self.recovery_p50_ms, 3)
+            row["recovery_p99_ms"] = round(self.recovery_p99_ms, 3)
+            row["device_model_fraction"] = round(
+                self.device_model_fraction, 4)
         if self.health_summary:
             fires = self.health_summary.get("watchdog_fires", {})
             row["watchdog_fires"] = sum(fires.values())

@@ -67,7 +67,7 @@ def test_missing_files_report_but_never_fail(trend, tmp_path, capfd):
     assert trend.main(["--dir", str(tmp_path), "--fail"]) == 0
     out = capfd.readouterr().out
     assert "(missing)" in out
-    assert "9 missing" in out
+    assert "%d missing" % len(trend.FLOORS) in out
 
 
 def test_headroom_math(trend):

@@ -23,6 +23,7 @@ Examples::
         --mode napi --seconds 0.5 --sort tottime
     PYTHONPATH=src python tools/profile_hotpath.py --driver e1000 \
         --smp 4 --queues 4 --interpreted
+    PYTHONPATH=src python tools/profile_hotpath.py --fleet 1024
 """
 
 import argparse
@@ -82,6 +83,74 @@ def build_rig(args):
     )
 
 
+def profile_fleet(args):
+    """Profile a mixed hotplug fleet instead of one NIC rig.
+
+    Same bucket attribution as the single-rig path, but the workload is
+    the ISSUE-9 fleet: N devices across five families on one kernel,
+    with churn and fault injection interleaved.  The headline number is
+    the device-model fraction -- harness overhead must stay a minority
+    cost, so optimization targets are whatever non-device buckets float
+    to the top here.
+    """
+    from repro.fleet import FleetHarness, FleetSpec
+
+    spec = FleetSpec(n_devices=args.fleet, nr_cpus=max(args.smp, 4),
+                     duration_ms=40, fault_period_ms=10, seed=1234)
+    harness = FleetHarness(spec)
+    t0 = time.perf_counter()
+    harness.build()
+    build_wall = time.perf_counter() - t0
+    harness.run(20)  # warm-up: caches filled, first churn wave done
+
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    harness.run(max(int(args.seconds * 1000), 40))
+    profiler.disable()
+    run_wall = time.perf_counter() - t0
+
+    stats = pstats.Stats(profiler)
+    total_tt = 0.0
+    bucket_tt = {}
+    rows = []
+    for (path, line, func), (_cc, ncalls, tottime, cumtime, _callers) \
+            in stats.stats.items():
+        total_tt += tottime
+        bucket = _bucket_for(path)
+        bucket_tt[bucket] = bucket_tt.get(bucket, 0.0) + tottime
+        rows.append((tottime, cumtime, ncalls,
+                     "%s:%d:%s" % (os.path.basename(path), line, func),
+                     bucket))
+
+    print("== profile_hotpath: fleet n=%d cpus=%d ==" % (
+        spec.n_devices, spec.nr_cpus))
+    print("build_wall=%.2fs  profiled_wall=%.2fs  events/s=%.0f" % (
+        build_wall, run_wall, harness.events_per_sec))
+    print("churn_cycles=%d  faults=%d  recoveries=%d" % (
+        harness.churn_cycles, harness.faults_fired(), harness.recoveries()))
+
+    device_tt = (bucket_tt.get("device-model", 0.0)
+                 + bucket_tt.get("fastpath", 0.0))
+    print("\n-- wall-clock attribution (cProfile tottime by layer) --")
+    for bucket, tt in sorted(bucket_tt.items(), key=lambda kv: -kv[1]):
+        print("  %-14s %8.4fs  %5.1f%%"
+              % (bucket, tt, 100.0 * tt / total_tt if total_tt else 0.0))
+    print("  device-model+fastpath fraction: %.3f"
+          % (device_tt / total_tt if total_tt else 0.0))
+
+    key = 0 if args.sort == "tottime" else 1
+    rows.sort(key=lambda r: -r[key])
+    print("\n-- top %d functions by %s --" % (args.top, args.sort))
+    print("  %9s %9s %9s  %-14s %s"
+          % ("tottime", "cumtime", "ncalls", "layer", "function"))
+    for tottime, cumtime, ncalls, where, bucket in rows[:args.top]:
+        print("  %8.4fs %8.4fs %9d  %-14s %s"
+              % (tottime, cumtime, ncalls, bucket, where))
+    harness.teardown()
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--driver", choices=("e1000", "rtl8139"),
@@ -105,7 +174,12 @@ def main(argv=None):
                         help="how many functions to list")
     parser.add_argument("--sort", choices=("tottime", "cumulative"),
                         default="tottime")
+    parser.add_argument("--fleet", type=int, default=None, metavar="N",
+                        help="profile an N-device mixed hotplug fleet "
+                             "instead of a single NIC rig")
     args = parser.parse_args(argv)
+    if args.fleet:
+        return profile_fleet(args)
     if args.burst is None:
         args.burst = 8 if args.driver == "rtl8139" else 1
 
