@@ -82,6 +82,19 @@ TIMING_REGS = {
     "ens1371": frozenset((0x0C, 0x20)),                # MEM_PAGE, SERIAL
 }
 
+#: Write-1-to-clear acknowledge registers.  The handler acks exactly
+#: the status bits it read, so when two device events coalesce into one
+#: interrupt on one variant only, that variant writes the *union* value
+#: (e.g. RxOK|TxOK = 5 on the 8139 ISR) which the other never does.
+#: Acking {1, 4} across two interrupts and acking 5 across one clear
+#: the same bits, so for these registers the footprint keeps the OR of
+#: all written values -- the set of bits ever acked -- instead of the
+#: distinct-value set.  (Surfaced by repro.explore: reordering
+#: config_mac between tx/rx bursts shifts decaf interrupt arrival.)
+ACK_W1C_REGS = {
+    "8139too": frozenset((0x3E,)),                     # ISR
+}
+
 #: Ring tail pointers: the *positions* written depend on how rx/tx work
 #: batches across poll boundaries, which shifts with crossing costs.
 #: The footprint keeps only the final value (where the ring ended up).
@@ -96,7 +109,8 @@ def write_footprint(trace):
     """Per-register sequence of written values: {region: {offset: [v]}}.
 
     Timing-coupled mask/ack registers (:data:`TIMING_REGS`) are reduced
-    to their sorted distinct-value set.
+    to their sorted distinct-value set; write-1-to-clear ack registers
+    (:data:`ACK_W1C_REGS`) further collapse to the OR of written values.
     """
     footprint = {}
     for op, region, offset, _size, value in trace:
@@ -104,8 +118,14 @@ def write_footprint(trace):
             continue
         footprint.setdefault(region, {}).setdefault(offset, []).append(value)
     for region, regs in footprint.items():
-        for offset in TIMING_REGS.get(region, ()):
+        for offset in ACK_W1C_REGS.get(region, ()):
             if offset in regs:
+                acked = 0
+                for value in regs[offset]:
+                    acked |= value
+                regs[offset] = [acked]
+        for offset in TIMING_REGS.get(region, ()):
+            if offset in regs and offset not in ACK_W1C_REGS.get(region, ()):
                 regs[offset] = sorted(set(regs[offset]))
         for offset in RING_TAIL_REGS.get(region, ()):
             if offset in regs:
@@ -169,9 +189,31 @@ def nobble_drop_tx(rig):
     dev.hard_start_xmit = broken_xmit
 
 
+class RunProbe:
+    """Observer hooks around :meth:`DifferentialRunner.run_one`.
+
+    ``repro.explore`` uses these to capture per-event resource
+    footprints (locks, irq lines, channel crossings) and to steer
+    controlled interleavings (released gated irqs at event boundaries).
+    All hooks are no-ops here; a runner without a probe pays nothing.
+    """
+
+    def begin_run(self, rig, scenario, decaf):
+        """Rig is built, armed, and set up; the replay loop is next."""
+
+    def begin_event(self, rig, index, event):
+        """Virtual time has advanced to the event's offset."""
+
+    def end_event(self, rig, index, event):
+        """The event's synchronous application just returned."""
+
+    def end_events(self, rig, decaf):
+        """All events applied; the settle window is next."""
+
+
 class DifferentialRunner:
     def __init__(self, lockdep=True, nobble=None, settle_ms=40,
-                 max_recoveries=8, smp=1):
+                 max_recoveries=8, smp=1, probe=None):
         self.lockdep = lockdep
         self.nobble = nobble  # callable(rig), decaf rig only (canary)
         self.settle_ms = settle_ms
@@ -179,6 +221,7 @@ class DifferentialRunner:
         # Virtual CPUs per rig; >1 additionally runs the e1000 pair
         # multi-queue (one NAPI context per queue, affined per CPU).
         self.smp = smp
+        self.probe = probe  # RunProbe or None
 
     def _make_rig(self, scenario, decaf):
         kwargs = {"decaf": decaf}
@@ -202,14 +245,13 @@ class DifferentialRunner:
         state = setup(rig, obs)
 
         if decaf and scenario.mode == "faulty" and scenario.faults:
-            rig.supervise(max_recoveries=self.max_recoveries)
-            rig.inject_faults(FaultPlan(
-                [FaultSpec(**spec) for spec in scenario.faults],
-                name="conformance-%s-%d" % (scenario.driver,
-                                            scenario.seed)))
+            self._arm_faults(rig, scenario)
         if decaf and self.nobble is not None:
             self.nobble(rig)
 
+        probe = self.probe
+        if probe is not None:
+            probe.begin_run(rig, scenario, decaf)
         trace = obs["reg_trace"]
         kernel.io.trace_tap = (
             lambda op, region, off, size, value:
@@ -219,7 +261,13 @@ class DifferentialRunner:
             target = base_ns + event["t"]
             if target > kernel.now_ns():
                 kernel.run_until(target)
+            if probe is not None:
+                probe.begin_event(rig, index, event)
             apply_event(rig, state, event, index, obs)
+            if probe is not None:
+                probe.end_event(rig, index, event)
+        if probe is not None:
+            probe.end_events(rig, decaf)
         kernel.run_for_ms(self.settle_ms)
         kernel.io.trace_tap = None
 
@@ -227,6 +275,15 @@ class DifferentialRunner:
         teardown(rig, state, obs)
         self._collect_common(rig, scenario, obs)
         return obs
+
+    def _arm_faults(self, rig, scenario):
+        """Attach the supervisor and arm the scenario's fault plan
+        (decaf rig, faulty mode).  Split out so repro.explore can reuse
+        the arming while adding its own instrumentation."""
+        rig.supervise(max_recoveries=self.max_recoveries)
+        rig.inject_faults(FaultPlan(
+            [FaultSpec(**spec) for spec in scenario.faults],
+            name="conformance-%s-%d" % (scenario.driver, scenario.seed)))
 
     def _collect_common(self, rig, scenario, obs):
         kernel = rig.kernel

@@ -159,8 +159,10 @@ class MarshalPlan:
     plan.  Mutating the plan via :meth:`set_access` invalidates both.
     """
 
-    def __init__(self, accesses=None):
+    def __init__(self, accesses=None, pinned=None):
         self._accesses = dict(accesses or {})
+        self._pinned = {name: frozenset(fields)
+                        for name, fields in (pinned or {}).items()}
         self._field_cache = {}
         self._op_cache = {}
 
@@ -168,6 +170,28 @@ class MarshalPlan:
         self._accesses[struct_name] = access
         self._field_cache.clear()
         self._op_cache.clear()
+
+    def pin(self, struct_name, *field_names):
+        """Mark fields as kernel-owned: excluded from the user->kernel
+        direction entirely, whatever the access analysis saw.
+
+        The analysis answers a liveness question (does the sliced code
+        touch this field?); write-back trust is a security one.  A
+        hardware resource handle -- MMIO/IO base, irq line, DMA base --
+        may well be *written* by legacy probe code that ended up in the
+        user slice, but accepting it back from a (possibly compromised)
+        user half lets corrupt state poison the kernel-side object and
+        survive supervised restarts, which re-marshal kernel state into
+        the fresh half.  Pinned fields simply never appear in TO_KERNEL
+        field lists; the wire format is positional over those lists on
+        both sides, so a hostile payload cannot even address them."""
+        pinned = set(self._pinned.get(struct_name, ())) | set(field_names)
+        self._pinned[struct_name] = frozenset(pinned)
+        self._field_cache.clear()
+        self._op_cache.clear()
+
+    def pinned_for(self, struct_cls):
+        return self._pinned.get(struct_cls.__name__, frozenset())
 
     def access_for(self, struct_cls):
         return self._accesses.get(struct_cls.__name__)
@@ -177,9 +201,15 @@ class MarshalPlan:
         compiled-codec ablation measures against)."""
         access = self.access_for(struct_cls)
         if access is None:
-            return list(struct_cls.fields())
-        wanted = access.all if direction == TO_USER else access.writes
-        return [f for f in struct_cls.fields() if f.name in wanted]
+            fields = list(struct_cls.fields())
+        else:
+            wanted = access.all if direction == TO_USER else access.writes
+            fields = [f for f in struct_cls.fields() if f.name in wanted]
+        if direction == TO_KERNEL:
+            pinned = self.pinned_for(struct_cls)
+            if pinned:
+                fields = [f for f in fields if f.name not in pinned]
+        return fields
 
     def fields_for(self, struct_cls, direction):
         key = (struct_cls, direction)
@@ -262,7 +292,14 @@ class TypeIds:
 
 
 class XdrBuffer:
-    """XDR-flavoured wire buffer: everything 4-byte aligned."""
+    """XDR-flavoured wire buffer: everything 4-byte aligned.
+
+    Decode is *hostile-input safe*: every read validates the remaining
+    buffer first and raises :class:`MarshalError` on underrun, so a
+    truncated or length-corrupted payload from a compromised user half
+    surfaces as a checked marshaling failure at the boundary, never as a
+    raw ``struct.error`` inside the kernel.
+    """
 
     def __init__(self, data=b""):
         self.data = bytearray(data)
@@ -270,6 +307,18 @@ class XdrBuffer:
 
     def __len__(self):
         return len(self.data)
+
+    @property
+    def remaining(self):
+        return len(self.data) - self.pos
+
+    def need(self, n):
+        """Validate that ``n`` more payload bytes exist before reading."""
+        if len(self.data) - self.pos < n:
+            raise MarshalError(
+                "wire underrun: need %d bytes at offset %d of %d"
+                % (n, self.pos, len(self.data))
+            )
 
     # encode
     def put_u32(self, v):
@@ -295,21 +344,25 @@ class XdrBuffer:
 
     # decode
     def get_u32(self):
+        self.need(4)
         v = _U32.unpack_from(self.data, self.pos)[0]
         self.pos += 4
         return v
 
     def get_u64(self):
+        self.need(8)
         v = _U64.unpack_from(self.data, self.pos)[0]
         self.pos += 8
         return v
 
     def get_scalar(self, ctype):
         if ctype.size == 8:
+            self.need(8)
             v = (_I64 if ctype.signed else _U64).unpack_from(
                 self.data, self.pos)[0]
             self.pos += 8
         else:
+            self.need(4)
             v = (_I32 if ctype.signed else _U32).unpack_from(
                 self.data, self.pos)[0]
             self.pos += 4
@@ -317,6 +370,11 @@ class XdrBuffer:
 
     def get_bytes(self):
         n = self.get_u32()
+        # The length word is attacker-controlled: validate against the
+        # remaining buffer *before* slicing (a bare slice would silently
+        # return short data; a 0xFFFFFFFF length must not look like a
+        # legal empty read).
+        self.need(n)
         raw = bytes(self.data[self.pos:self.pos + n])
         self.pos += n + (-n % 4)
         return raw
@@ -685,6 +743,7 @@ class MarshalCodec:
             for op in self.plan.compiled_ops_for(struct_cls, direction):
                 if op[0] == OP_PACK:
                     _tag, names, _ctypes, packer, dclamps, _sc = op
+                    buf.need(packer.size)
                     values = packer.unpack_from(buf.data, buf.pos)
                     buf.pos += packer.size
                     for name, ct, value in zip(names, dclamps, values):
@@ -701,6 +760,14 @@ class MarshalCodec:
                               ctx, seen):
         fields = self.plan.fields_for(struct_cls, direction)
         count = buf.get_u32()
+        # A well-formed delta includes each plan field at most once; a
+        # larger count is forged and would otherwise drive a near-2^32
+        # decode loop off a 4-byte wire word.
+        if count > len(fields):
+            raise MarshalError(
+                "delta field count %d exceeds the %d plan fields of %s"
+                % (count, len(fields), struct_cls.__name__)
+            )
         for _ in range(count):
             index = buf.get_u32()
             try:
@@ -748,7 +815,15 @@ class MarshalCodec:
             )
             seen.add(child_identity, child)
         elif isinstance(ctype, Str):
-            setattr(obj, field.name, buf.get_bytes().decode("utf-8"))
+            raw = buf.get_bytes()
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                raise MarshalError(
+                    "field %s: string payload is not valid utf-8"
+                    % field.name
+                ) from None
+            setattr(obj, field.name, text)
         elif isinstance(ctype, Array):
             setattr(
                 obj,
@@ -765,6 +840,10 @@ class MarshalCodec:
         if tag != TAG_ARRAY:
             raise MarshalError("expected array tag, got %d" % tag)
         length = buf.get_u32()
+        # Each element is one u32: validate the whole extent up front so
+        # a forged length fails fast instead of allocating a multi-GB
+        # list four bytes at a time.
+        buf.need(4 * length)
         return [buf.get_u32() for _ in range(length)]
 
 

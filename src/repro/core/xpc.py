@@ -226,6 +226,10 @@ class XpcChannel:
     rigs.
     """
 
+    #: Installed as ``corrupt_hook`` on every new channel (normally
+    #: None).  Seam for probe-time payload attacks; see __init__.
+    default_corrupt_hook = None
+
     def __init__(self, xpc, domains, plan=None, name="xpc",
                  weak_shared_objects=False, single_process=True):
         self.xpc = xpc
@@ -266,9 +270,12 @@ class XpcChannel:
         self.last_deferred_error = None
         # Fault-injection hooks (repro.faults): inject_hook(kind,
         # callsite) may raise before user code runs; corrupt_hook(data,
-        # direction) may mangle a marshaled payload in flight.
+        # direction) may mangle a marshaled payload in flight.  The
+        # class-level default lets repro.explore's adversary attack
+        # *probe-time* crossings -- the channel is constructed mid-insmod,
+        # before any caller can reach the instance to install a hook.
         self.inject_hook = None
-        self.corrupt_hook = None
+        self.corrupt_hook = XpcChannel.default_corrupt_hook
         # Stats of the most recent _transfer_args call:
         # (bytes, fields, tracker_lookups, tracker_hits, delta_saved).
         # Call sites that trace read it immediately after each transfer.
@@ -614,6 +621,28 @@ class XpcChannel:
         finally:
             self._flushing = False
 
+    def _transfer_contained(self, args, direction, delta, func):
+        """A downcall-path transfer: a malformed payload is a driver fault.
+
+        The marshaled bytes on this path come from the user-level half;
+        a decode failure (truncated buffer, forged length, bad tag --
+        anything a compromised user half can put on the wire) must never
+        surface as a raw kernel-side exception.  Under a failure policy
+        it is contained exactly like an unchecked exception escaping an
+        upcall: channel FAILED, supervisor notified, DriverFailedError
+        to the caller.  A policy-free channel keeps raw propagation.
+        """
+        try:
+            return self._transfer_args(args, direction, delta=delta)
+        except Exception as exc:
+            if self._contain(exc, _callsite(func)):
+                raise DriverFailedError(
+                    "xpc %s: malformed payload in downcall %s"
+                    % (self.name, _callsite(func)),
+                    cause=exc,
+                ) from exc
+            raise
+
     # -- the four call paths -------------------------------------------------------------
 
     def upcall(self, func, args=(), extra=None):
@@ -694,7 +723,7 @@ class XpcChannel:
         tracer = kernel.tracer
         start_ns = kernel.clock.now_ns if tracer is not None else 0
         self._charge_kernel_crossing()
-        twins = self._transfer_args(list(args), TO_KERNEL)
+        twins = self._transfer_contained(list(args), TO_KERNEL, False, func)
         fwd = self.last_transfer
         self.domains.push(KERNEL)
         try:
@@ -702,7 +731,8 @@ class XpcChannel:
             ret = func(*call_args)
         finally:
             self.domains.pop(KERNEL)
-        self._transfer_args(list(args_back(args, twins)), TO_USER, delta=True)
+        self._transfer_contained(list(args_back(args, twins)), TO_USER, True,
+                                 func)
         self._charge_kernel_crossing()
         if tracer is not None:
             tracer.xpc_span("xpc.downcall", start_ns, self.name,

@@ -58,7 +58,8 @@ def slice_plan(driver_name):
         classes = [getattr(module, name) for name in class_names]
         decaf_accesses = analyze_decaf_accesses(classes, config.type_hints)
         merged = merge_accesses(legacy_accesses, decaf_accesses)
-        plan = build_marshal_plan(merged, config.extra_access)
+        plan = build_marshal_plan(merged, config.extra_access,
+                                  kernel_owned=config.kernel_owned)
         _PLAN_CACHE[driver_name] = plan
     return _PLAN_CACHE[driver_name]
 

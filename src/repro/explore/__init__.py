@@ -1,0 +1,50 @@
+"""Bounded systematic exploration on top of the conformance harness.
+
+PR 5's differential harness *samples* seeded schedules; this package
+*enumerates* them for small bounded scenarios (<= ~8 events):
+
+* :mod:`repro.explore.dpor` -- Mazurkiewicz-trace enumeration of event
+  orders with DPOR-style pruning: two events commute unless they touch
+  the same lock class, irq line, serio port, or XPC channel, and only
+  the lexicographically-least representative of each equivalence class
+  is replayed.  ``explored + pruned == total`` by construction.
+* :mod:`repro.explore.footprint` -- empirical capture of each event's
+  resource footprint (the dependency relation's ground truth) via the
+  kernel's lockdep/irq/serio taps and the channel crossing counters.
+* :mod:`repro.explore.explorer` -- drives the canonical orders, fault
+  placements, and irq-deferral placements through
+  :class:`~repro.conformance.runner.DifferentialRunner`; divergences
+  minimize to standalone repro scripts via the PR-5 ddmin machinery.
+* :mod:`repro.explore.adversary` -- a compromised user half: captured
+  XPC crossings are replayed with mutated marshaled payloads at every
+  decaf nucleus; the PR-4 boundary must contain all of it.
+
+CLI: ``python -m repro.explore --driver e1000 --depth 6 --adversary``.
+"""
+
+from .adversary import AdversaryReport, MUTATIONS, run_adversary
+from .dpor import (
+    DependencyRelation,
+    canonical_orders,
+    enumerate_orders,
+    is_canonical,
+    trace_class,
+)
+from .explorer import ExploreReport, Explorer, run_defer_pair
+from .footprint import FootprintProbe, capture_footprints
+
+__all__ = [
+    "AdversaryReport",
+    "DependencyRelation",
+    "ExploreReport",
+    "Explorer",
+    "FootprintProbe",
+    "MUTATIONS",
+    "canonical_orders",
+    "capture_footprints",
+    "enumerate_orders",
+    "is_canonical",
+    "run_adversary",
+    "run_defer_pair",
+    "trace_class",
+]

@@ -1,0 +1,117 @@
+"""Empirical per-event resource footprints.
+
+The dependency relation of :mod:`repro.explore.dpor` needs to know, for
+each event of a base schedule, which lock classes, irq lines, serio
+ports, and XPC channels the event touches.  Rather than deriving that
+statically (fragile against driver refactors), a probe run of *both*
+variants records it from the kernel's own instrumentation:
+
+* ``LockDep.acquire_tap`` -- every lock acquisition check;
+* ``IrqController.raise_tap`` -- every device interrupt assert;
+* ``SerioPort.deliver_tap`` -- every device->driver serio byte (serio
+  delivers outside the irq controller);
+* the rig's XPC crossing counter, sampled at window boundaries.
+
+Attribution windows follow the replay loop: event *k* owns everything
+from its ``begin_event`` to the next event's ``begin_event`` -- i.e.
+its synchronous application *plus* its asynchronous tail (tx-complete
+interrupts, NAPI polls, deferred-notification flushes landing before
+the next event).  The last event's window extends through settle and
+teardown.  This over-approximates (background periodic work inside a
+window adds dependencies), which only costs pruning -- never soundness.
+The union of the legacy and decaf runs is used, so an event depends on
+everything *either* variant touches.
+"""
+
+from ..conformance.runner import RunProbe
+
+
+class FootprintProbe(RunProbe):
+    """Record one run's per-event resource footprints."""
+
+    def __init__(self):
+        self.footprints = []
+        self.event_crossings = 0
+        self._rig = None
+        self._current = None
+        self._chan_base = 0
+        self._crossings_at_begin = 0
+
+    # -- tap plumbing ------------------------------------------------------
+
+    def begin_run(self, rig, scenario, decaf):
+        self._rig = rig
+        self.footprints = [set() for _ in scenario.events]
+        self.event_crossings = 0
+        self._current = None
+        kernel = rig.kernel
+        if kernel.lockdep is not None:
+            kernel.lockdep.acquire_tap = self._on_lock
+        kernel.irq.raise_tap = self._on_irq
+        for port in kernel.input.serio_ports:
+            port.deliver_tap = self._on_serio
+        self._crossings_at_begin = self._crossings()
+
+    def _crossings(self):
+        rig = self._rig
+        if rig is None or rig.channel is None:
+            return 0
+        return rig.crossings()
+
+    def _on_lock(self, name, kind):
+        if self._current is not None:
+            self._current.add("lock:%s" % name)
+
+    def _on_irq(self, irq):
+        if self._current is not None:
+            self._current.add("irq:%d" % irq)
+
+    def _on_serio(self, port, byte):
+        if self._current is not None:
+            self._current.add("serio:%s" % port.name)
+
+    # -- window boundaries -------------------------------------------------
+
+    def _close_window(self):
+        if self._current is not None and self._crossings() > self._chan_base:
+            self._current.add("chan")
+        self._current = None
+
+    def begin_event(self, rig, index, event):
+        self._close_window()
+        self._current = self.footprints[index]
+        self._chan_base = self._crossings()
+
+    def end_events(self, rig, decaf):
+        # Crossings that land inside event windows bound the reachable
+        # fault placements; settle/teardown crossings are excluded so an
+        # enumerated occurrence count always fires mid-scenario.
+        self.event_crossings = self._crossings() - self._crossings_at_begin
+
+    def take(self):
+        """Close the final window (it spanned settle + teardown) and
+        return this run's footprints."""
+        self._close_window()
+        self._rig = None
+        return [frozenset(fp) for fp in self.footprints]
+
+
+def capture_footprints(runner, scenario):
+    """Probe both variants of ``scenario``; union the footprints.
+
+    Returns ``(footprints, decaf_event_crossings)`` where the crossing
+    count covers the decaf run's event windows only (the reachable
+    budget for enumerated ``xpc_raise`` placements).
+    """
+    probe = FootprintProbe()
+    saved = runner.probe
+    runner.probe = probe
+    try:
+        runner.run_one(scenario, decaf=False)
+        legacy = probe.take()
+        runner.run_one(scenario, decaf=True)
+        decaf_crossings = probe.event_crossings
+        decaf = probe.take()
+    finally:
+        runner.probe = saved
+    return [l | d for l, d in zip(legacy, decaf)], decaf_crossings

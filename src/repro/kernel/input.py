@@ -38,6 +38,11 @@ class SerioPort:
         self.opened = False
         self.bytes_to_device = 0
         self.bytes_from_device = 0
+        # Optional observer ``tap(port, byte)`` fired on every
+        # device->driver byte (before masking by open state); serio
+        # delivers outside the IrqController, so repro.explore taps the
+        # port directly to capture the input-line footprint.
+        self.deliver_tap = None
 
     def attach_device(self, model):
         self.device_model = model
@@ -65,6 +70,8 @@ class SerioPort:
     def deliver(self, byte):
         """Device -> driver byte, delivered in hardirq context."""
         self.bytes_from_device += 1
+        if self.deliver_tap is not None:
+            self.deliver_tap(self, byte)
         if not self.opened or self.driver_interrupt is None:
             return
         kernel = self._kernel

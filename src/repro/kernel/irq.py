@@ -43,6 +43,14 @@ class IrqController:
         self._affinity = {}
         self.delivered = 0
         self.spurious = 0
+        # Observation/steering hooks for repro.explore.  ``raise_tap``
+        # (callable(irq)) sees every device assert before masking;
+        # ``delivery_gate`` (callable(irq) -> bool) may claim an assert,
+        # which is then latched on ``_gated`` until ``release_gated``.
+        # Both cost one ``is not None`` test when unset.
+        self.raise_tap = None
+        self.delivery_gate = None
+        self._gated = []
         kernel.kstat.register("irq", self._kstat)
 
     def _kstat(self):
@@ -98,6 +106,8 @@ class IrqController:
         line.disable_depth = 0
         self._affinity.pop(irq, None)
         self._local_pending.discard(irq)
+        if self._gated:
+            self._gated = [i for i in self._gated if i != irq]
 
     def disable_irq(self, irq):
         """Mask one line; nests."""
@@ -183,6 +193,11 @@ class IrqController:
             line = lines[irq]
         else:
             raise SimulationError("bad irq number %d" % irq)
+        if self.raise_tap is not None:
+            self.raise_tap(irq)
+        if self.delivery_gate is not None and self.delivery_gate(irq):
+            self._gated.append(irq)
+            return
         kernel = self._kernel
         cpu = self._affinity.get(irq) if self._affinity else None
         if cpu is not None and kernel.nr_cpus > 1:
@@ -200,6 +215,24 @@ class IrqController:
             line.pending = True
             return
         self._dispatch(line)
+
+    def release_gated(self):
+        """Deliver asserts the ``delivery_gate`` deferred, in order.
+
+        The gate is suspended for the duration so the replayed asserts
+        take the normal masking/affinity path instead of re-latching.
+        Returns the number of asserts released.
+        """
+        if not self._gated:
+            return 0
+        gated, self._gated = self._gated, []
+        gate, self.delivery_gate = self.delivery_gate, None
+        try:
+            for irq in gated:
+                self.raise_irq(irq)
+        finally:
+            self.delivery_gate = gate
+        return len(gated)
 
     # -- internal -------------------------------------------------------------
 

@@ -64,6 +64,12 @@ class LockDep:
         self._kernel = kernel
         self.reports = []
         self.checks = 0
+        # Optional observer ``tap(lock_name, kind)`` fired on every
+        # acquisition check.  repro.explore uses it to capture the lock
+        # footprint of an event window; one ``is not None`` test when
+        # unset, and lockdep itself is opt-in, so the primitives'
+        # fast path is untouched.
+        self.acquire_tap = None
         # Held-lock stacks are per CPU (a lock held on cpu0 must not
         # order against an acquisition on cpu1), but the order graph
         # and usage table are global: opposite acquisition orders on
@@ -127,6 +133,8 @@ class LockDep:
         ``SleepInAtomicError`` still finds the report recorded.
         """
         self.checks += 1
+        if self.acquire_tap is not None:
+            self.acquire_tap(lock.name, kind)
         context = self._kernel.context
         name = lock.name
         sleeping = kind in ("mutex", "semaphore", "combo-sem")

@@ -129,13 +129,18 @@ def analyze_field_accesses(modules, user_funcs, type_hints):
     return accesses
 
 
-def build_marshal_plan(accesses, extra_access=()):
+def build_marshal_plan(accesses, extra_access=(), kernel_owned=()):
     """Build a MarshalPlan, merging DECAF_XVAR-style additions.
 
     ``extra_access`` entries are (struct_name, field_name, mode) with
     mode one of "R", "W", "RW" -- the paper's ``DECAF_XVAR(y)``
     annotations that tell the slicer about fields only Java code (which
     CIL cannot see) touches.
+
+    ``kernel_owned`` entries are (struct_name, field_name) pairs pinned
+    out of the user->kernel direction: hardware resource handles the
+    access analysis may see written (legacy probe code in the user
+    slice) but which a compromised user half must never write back.
     """
     merged = {name: FieldAccess(a.reads, a.writes) for name, a in accesses.items()}
     for struct_name, field_name, mode in extra_access:
@@ -147,4 +152,6 @@ def build_marshal_plan(accesses, extra_access=()):
     plan = MarshalPlan()
     for name, access in merged.items():
         plan.set_access(name, access)
+    for struct_name, field_name in kernel_owned:
+        plan.pin(struct_name, field_name)
     return plan

@@ -14,7 +14,7 @@ these feed the partition report.
 class SliceConfig:
     def __init__(self, name, module_names, critical_roots, root_reasons=None,
                  interface_ops=(), pinned_kernel=(), type_hints=None,
-                 extra_access=()):
+                 extra_access=(), kernel_owned=()):
         self.name = name
         self.module_names = tuple(module_names)
         self.critical_roots = tuple(critical_roots)
@@ -24,6 +24,12 @@ class SliceConfig:
         self.type_hints = dict(type_hints or {})
         # DECAF_XVAR-style additions: (struct_name, field_name, "R"/"W"/"RW")
         self.extra_access = tuple(extra_access)
+        # Kernel-owned resource handles: (struct_name, field_name) pairs
+        # excluded from user->kernel marshaling even when the access
+        # analysis sees a write (legacy probe code in the user slice).
+        # A compromised user half must not be able to redirect the
+        # kernel's MMIO/IO base, irq line, or DMA base.
+        self.kernel_owned = tuple(kernel_owned)
 
     def load_modules(self):
         import importlib
@@ -52,6 +58,10 @@ DRIVER_CONFIGS = {
             "tp": "rtl8139_private",
             "dev": None,  # opaque net_device
         },
+        kernel_owned=(
+            ("rtl8139_private", "ioaddr"),
+            ("rtl8139_private", "irq"),
+        ),
     ),
     "e1000": SliceConfig(
         name="e1000",
@@ -87,6 +97,9 @@ DRIVER_CONFIGS = {
             "phy_info": "e1000_phy_info",
             "eeprom": "e1000_eeprom_info",
         },
+        kernel_owned=(
+            ("e1000_hw", "hw_addr"),
+        ),
     ),
     "ens1371": SliceConfig(
         name="ens1371",
@@ -114,6 +127,10 @@ DRIVER_CONFIGS = {
         type_hints={
             "ensoniq_": "ensoniq",
         },
+        kernel_owned=(
+            ("ensoniq", "port"),
+            ("ensoniq", "irq"),
+        ),
     ),
     "uhci_hcd": SliceConfig(
         name="uhci_hcd",
@@ -132,6 +149,11 @@ DRIVER_CONFIGS = {
         type_hints={
             "uhci": "uhci_hcd_state",
         },
+        kernel_owned=(
+            ("uhci_hcd_state", "io_addr"),
+            ("uhci_hcd_state", "irq"),
+            ("uhci_hcd_state", "fl_dma"),
+        ),
     ),
     "psmouse": SliceConfig(
         name="psmouse",

@@ -1,0 +1,161 @@
+"""Edge cases for divergence minimization and repro emission.
+
+``test_generator.py`` covers the happy ddmin paths; this file covers
+the corners the explorer leans on: schedules that are already minimal
+(one event), failures that depend on event *order* rather than event
+membership (the exact shape interleaving divergences take), replay
+budgets, and ``write_repro_script`` emitting a standalone script with
+no nobble and no recorded divergences.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.conformance import Scenario, write_repro_script
+from repro.conformance.minimize import ddmin, minimize_scenario
+from repro.conformance.runner import Divergence
+
+
+class _Result:
+    def __init__(self, failing):
+        self.ok = not failing
+        self.divergences = [Divergence("tx", "fake detail")] if failing else []
+
+
+class _FakeRunner:
+    """run_pair stub: diverges when ``predicate(events)`` holds."""
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+        self.calls = 0
+
+    def run_pair(self, scenario):
+        self.calls += 1
+        return _Result(self.predicate(scenario.events))
+
+
+def _events(n):
+    return [{"kind": "irq", "n": i} for i in range(n)]
+
+
+def _scenario(events):
+    return Scenario("e1000", 0, "strict", events)
+
+
+class TestDdminEdges:
+    def test_single_failing_event(self):
+        assert ddmin([42], lambda s: 42 in s) == [42]
+
+    def test_empty_input(self):
+        assert ddmin([], lambda s: True) == []
+
+    def test_order_dependent_failure(self):
+        # Fails only when 3 occurs *before* 11 -- membership alone is
+        # not enough, which is how interleaving divergences behave.
+        items = list(range(16))
+
+        def fails(subset):
+            return (3 in subset and 11 in subset
+                    and subset.index(3) < subset.index(11))
+
+        assert ddmin(items, fails) == [3, 11]
+
+    def test_never_reorders_surviving_events(self):
+        # ddmin only ever drops chunks; relative order is preserved, so
+        # an order-sensitive repro stays valid through minimization.
+        items = list(range(12))
+        observed = []
+
+        def fails(subset):
+            observed.append(list(subset))
+            return {2, 7, 9} <= set(subset)
+
+        result = ddmin(items, fails)
+        assert result == [2, 7, 9]
+        for subset in observed:
+            assert subset == sorted(subset)
+
+
+class TestMinimizeScenario:
+    def test_one_event_schedule_is_already_minimal(self):
+        runner = _FakeRunner(lambda events: len(events) == 1)
+        scenario = _scenario(_events(1))
+        minimized, runs = minimize_scenario(runner, scenario)
+        assert minimized.events == scenario.events
+        assert runs >= 1
+
+    def test_reduces_to_single_culprit_event(self):
+        culprit = {"kind": "irq", "n": 5}
+        runner = _FakeRunner(lambda events: culprit in events)
+        minimized, _runs = minimize_scenario(runner, _scenario(_events(8)))
+        assert minimized.events == [culprit]
+
+    def test_order_dependent_pair_survives(self):
+        first, second = {"kind": "tx", "n": 1}, {"kind": "irq", "n": 6}
+
+        def fails(events):
+            return (first in events and second in events
+                    and events.index(first) < events.index(second))
+
+        minimized, _runs = minimize_scenario(
+            _FakeRunner(fails), _scenario(_events(4) + [first] +
+                                          _events(2) + [second]))
+        assert minimized.events == [first, second]
+
+    def test_budget_exhaustion_returns_best_so_far(self):
+        runner = _FakeRunner(lambda events: True)
+        scenario = _scenario(_events(32))
+        minimized, runs = minimize_scenario(runner, scenario, max_runs=3)
+        assert runs <= 3
+        # Still a valid (possibly unminimized) failing schedule.
+        assert set(map(str, minimized.events)) <= set(
+            map(str, scenario.events))
+
+    def test_zero_budget_is_a_no_op(self):
+        runner = _FakeRunner(lambda events: True)
+        scenario = _scenario(_events(6))
+        minimized, runs = minimize_scenario(runner, scenario, max_runs=0)
+        assert runs == 0
+        assert minimized.events == scenario.events
+
+    def test_preserves_scenario_identity_fields(self):
+        runner = _FakeRunner(lambda events: True)
+        base = Scenario("e1000", 7, "strict", _events(4),
+                        faults=[{"kind": "xpc_raise", "at": 1}])
+        minimized, _runs = minimize_scenario(runner, base)
+        assert (minimized.driver, minimized.seed, minimized.mode) == (
+            "e1000", 7, "strict")
+        assert minimized.faults == base.faults
+
+
+class TestWriteReproScript:
+    def test_no_divergences_and_no_nobble(self, tmp_path):
+        path = tmp_path / "repro_empty.py"
+        write_repro_script(_scenario(_events(2)), [], str(path))
+        text = path.read_text()
+        assert "(none recorded)" in text
+        assert "DifferentialRunner()" in text  # no nobble argument
+        assert "nobble" not in text.split("import")[1].splitlines()[0]
+
+    def test_script_runs_standalone_and_reports_clean(self, tmp_path):
+        # An empty schedule cannot diverge: the emitted script must run
+        # from a bare subprocess (only PYTHONPATH=src) and exit 0 with
+        # the "fixed?" report -- the path a developer hits after
+        # repairing the bug a repro captured.
+        path = tmp_path / "repro_clean.py"
+        write_repro_script(_scenario([]), [], str(path))
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+        proc = subprocess.run([sys.executable, str(path)], env=env,
+                              capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no divergence" in proc.stdout
+
+    def test_filename_in_docstring_from_path_object(self, tmp_path):
+        path = tmp_path / "repro_named.py"
+        write_repro_script(_scenario(_events(1)),
+                           [Divergence("tx", "one frame short")], path)
+        text = path.read_text()
+        assert "PYTHONPATH=src python repro_named.py" in text
+        assert "one frame short" in text

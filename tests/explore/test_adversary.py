@@ -1,0 +1,110 @@
+"""Adversarial-XPC containment: every mutation lands as errno/recovery.
+
+The threat model: the user half is compromised and replays captured
+crossings with mutated marshaled payloads.  The PR-4 boundary must
+contain every mutation -- checked errno or supervised recovery -- never
+a kernel-side unchecked exception, hang, or lockdep report.  CI runs the
+full corpus over all five nuclei; here a bounded sweep keeps the same
+zero-violation contract in tier-1, plus unit coverage of the corpus and
+sampling mechanics.
+"""
+
+import pytest
+
+from repro.core.xpc import XpcChannel
+from repro.explore.adversary import (
+    MUTATIONS,
+    _attack_points,
+    _probe_hook,
+    run_adversary,
+)
+
+SAMPLE = bytes(range(64))
+
+
+class TestMutationCorpus:
+    def test_corpus_covers_the_issue_taxonomy(self):
+        names = [name for name, _fn in MUTATIONS]
+        assert any(n.startswith("trunc") for n in names)  # truncation
+        assert "extend-garbage" in names  # oversized
+        assert any(n.startswith("argc") for n in names)  # field counts
+        assert "forge-identity" in names  # stale/forged handles
+        assert any(n.startswith("stomp") for n in names)  # range stomps
+        assert len(MUTATIONS) >= 15
+
+    def test_mutations_are_pure_and_detectably_different(self):
+        for name, fn in MUTATIONS:
+            out = fn(SAMPLE)
+            assert isinstance(out, bytes), name
+            assert fn(SAMPLE) == out, "%s is not deterministic" % name
+            assert out != SAMPLE, "%s is a no-op on a 64-byte wire" % name
+
+    def test_short_payload_stomps_degrade_to_no_ops(self):
+        # The sweep counts these as skipped; they must not corrupt the
+        # payload some other way.
+        for name, fn in MUTATIONS:
+            out = fn(b"\x01\x02")
+            assert isinstance(out, bytes), name
+            assert len(out) <= 18, name  # extend-garbage adds 16
+
+
+class TestAttackPointSampling:
+    def test_under_cap_attacks_everything(self):
+        assert _attack_points(5, 24) == [0, 1, 2, 3, 4]
+
+    def test_over_cap_spreads_evenly(self):
+        points = _attack_points(100, 10)
+        assert len(points) == 10
+        assert points[0] == 0
+        assert points == sorted(set(points))
+        assert all(0 <= p < 100 for p in points)
+        assert points[-1] >= 90  # reaches the tail, not just the head
+
+    def test_empty(self):
+        assert _attack_points(0, 24) == []
+
+
+class TestProbeHookSeam:
+    def test_hook_installed_and_restored(self):
+        assert XpcChannel.default_corrupt_hook is None
+        fn = lambda data, direction: data  # noqa: E731
+        with _probe_hook(fn):
+            assert XpcChannel.default_corrupt_hook is fn
+        assert XpcChannel.default_corrupt_hook is None
+
+    def test_hook_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with _probe_hook(lambda data, direction: data):
+                raise RuntimeError("boom")
+        assert XpcChannel.default_corrupt_hook is None
+
+
+class TestContainment:
+    """Bounded live sweeps; CI runs the full-corpus versions."""
+
+    def test_e1000_scenario_phase_contained(self):
+        rep = run_adversary("e1000", depth=2, max_points=2, timeout_s=60)
+        assert rep.attacks > 0
+        assert rep.ok, rep.violations[:3]
+        assert rep.contained == rep.attacks
+        assert rep.crossings_captured > 0
+
+    def test_psmouse_probe_phase_contained(self):
+        # psmouse crosses XPC only during probe: the probe-phase sweep
+        # is the only non-vacuous attack surface for it.
+        rep = run_adversary("psmouse", depth=2, max_points=2, timeout_s=60)
+        assert rep.probe_crossings_captured > 0
+        assert rep.probe_crossings_attacked > 0
+        assert rep.attacks > 0
+        assert rep.ok, rep.violations[:3]
+        # Probe-time containment means clean errno or clean absorb.
+        assert rep.contained_errno + rep.contained_absorbed > 0
+
+    def test_report_json_shape(self):
+        rep = run_adversary("8139too", depth=2, max_points=1, timeout_s=60)
+        data = rep.to_json()
+        assert data["violations"] == []
+        assert data["attacks"] == (data["contained_recovered"]
+                                   + data["contained_errno"]
+                                   + data["contained_absorbed"])
+        assert data["corpus"] == [name for name, _fn in MUTATIONS]

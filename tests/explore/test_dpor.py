@@ -1,0 +1,114 @@
+"""Soundness of the trace-theoretic enumeration in repro.explore.dpor.
+
+The load-bearing claims, each verified against brute force at small n:
+
+* ``explored + pruned == total`` -- nothing is silently dropped.
+* The canonical filter admits **exactly one** representative per
+  Mazurkiewicz class (the class being the closure of the order under
+  adjacent independent swaps, computed by BFS).
+* Pruning is exact: the classes of the canonical orders partition the
+  full ``n!`` permutation space.
+"""
+
+import random
+from itertools import permutations
+from math import factorial
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.dpor import (
+    DependencyRelation,
+    canonical_orders,
+    enumerate_orders,
+    is_canonical,
+    trace_class,
+)
+
+RESOURCES = ["lock:rtnl", "lock:tx", "irq:11", "irq:12", "serio:0", "chan"]
+
+
+def _random_deps(rng, n):
+    footprints = [
+        {rng.choice(RESOURCES) for _ in range(rng.randrange(3))}
+        for _ in range(n)
+    ]
+    return DependencyRelation(footprints)
+
+
+class TestEnumerationInvariant:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 5))
+    def test_explored_plus_pruned_is_total(self, seed, n):
+        deps = _random_deps(random.Random(seed), n)
+        result = enumerate_orders(deps)
+        assert result.explored + result.pruned == result.total
+        assert result.total == factorial(n)
+        assert result.explored == len(result.orders)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 5))
+    def test_exactly_one_canonical_per_class(self, seed, n):
+        deps = _random_deps(random.Random(seed), n)
+        covered = set()
+        for order in canonical_orders(deps):
+            cls = trace_class(order, deps)
+            # This order is the only canonical member of its class, and
+            # the lexicographically least one.
+            assert sum(1 for w in cls if is_canonical(w, deps)) == 1
+            assert order == min(cls)
+            assert not (cls & covered)  # classes are disjoint
+            covered |= cls
+        # ... and together the classes cover every permutation.
+        assert len(covered) == factorial(n)
+
+
+class TestKnownConfigurations:
+    def test_two_dependent_groups(self):
+        # Events {0,1,3,4} share an irq line, {2,5} share the channel.
+        # Classes are determined by the relative order within each
+        # group: 4! * 2! = 48, each of size C(6,2) = 15.
+        fps = [{"irq:11"}, {"irq:11"}, {"chan"},
+               {"irq:11"}, {"irq:11"}, {"chan"}]
+        deps = DependencyRelation(fps)
+        result = enumerate_orders(deps)
+        assert result.explored == factorial(4) * factorial(2) == 48
+        assert result.total == factorial(6) == 720
+        for order in result.orders[:5]:
+            assert len(trace_class(order, deps)) == 15
+
+    def test_all_independent_collapses_to_one(self):
+        deps = DependencyRelation([{"irq:%d" % i} for i in range(5)])
+        result = enumerate_orders(deps)
+        assert result.explored == 1
+        assert result.orders == [tuple(range(5))]
+        assert result.ratio == factorial(5)
+
+    def test_all_dependent_prunes_nothing(self):
+        deps = DependencyRelation([{"chan"}] * 4)
+        result = enumerate_orders(deps)
+        assert result.explored == result.total == factorial(4)
+        assert result.pruned == 0
+        assert result.ratio == 1.0
+
+    def test_single_event(self):
+        result = enumerate_orders(DependencyRelation([{"chan"}]))
+        assert (result.explored, result.pruned, result.total) == (1, 0, 1)
+
+
+class TestDependencyRelation:
+    def test_dependence_is_footprint_intersection(self):
+        deps = DependencyRelation([{"lock:a", "irq:3"}, {"irq:3"}, {"chan"}])
+        assert deps.dependent(0, 1)
+        assert deps.independent(0, 2)
+        assert deps.independent(1, 2)
+        assert deps.shared(0, 1) == ["irq:3"]
+        assert deps.dependent_pairs() == [(0, 1)]
+
+    def test_empty_footprint_commutes_with_everything(self):
+        deps = DependencyRelation([set(), {"chan"}, {"chan"}])
+        assert deps.independent(0, 1)
+        assert deps.independent(0, 2)
+        assert deps.dependent(1, 2)
+        # Only the relative order of the two chan events matters.
+        assert enumerate_orders(deps).explored == 2
